@@ -1,0 +1,165 @@
+// Command fsbench runs one workload against one configured stack and
+// prints a full-disclosure report: multi-run summary with confidence
+// intervals, refusal flags, the latency histogram, and the workload's
+// dimension classification.
+//
+// Usage:
+//
+//	fsbench -workload randomread -fs ext2 -runs 10 -duration 60s
+//	fsbench -wdl my-workload.wdl -fs xfs -cold
+//	fsbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	fsbench "repro"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "randomread", "stock personality to run (see -list)")
+		wdlPath      = flag.String("wdl", "", "WDL workload file (overrides -workload)")
+		fsName       = flag.String("fs", "ext2", "file system model: ext2, ext3, xfs")
+		devName      = flag.String("device", "hdd", "device model: hdd, ssd, ramdisk")
+		ramMB        = flag.Int64("ram", 512, "RAM in MB")
+		reserveMB    = flag.Int64("os-reserve", 102, "mean OS-reserved memory in MB")
+		jitterMB     = flag.Int64("jitter", 2, "per-run OS reserve stddev in MB")
+		policy       = flag.String("policy", "lru", "cache eviction policy: lru, fifo, clock, random, 2q, arc")
+		readahead    = flag.String("readahead", "", "readahead override: none, fixed, adaptive (default: FS hint)")
+		l2MB         = flag.Int64("l2", 0, "flash second-tier cache in MB (0 = none)")
+		runs         = flag.Int("runs", 5, "independent runs")
+		duration     = flag.String("duration", "60s", "virtual run length")
+		window       = flag.String("window", "30s", "measurement window at the end of each run")
+		cold         = flag.Bool("cold", false, "drop caches after setup (cold start)")
+		seed         = flag.Uint64("seed", 1, "base seed")
+		list         = flag.Bool("list", false, "list stock personalities and exit")
+		showHist     = flag.Bool("hist", true, "print the latency histogram")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("stock personalities:")
+		for _, name := range workload.Personalities() {
+			fmt.Printf("  %s\n", name)
+		}
+		return
+	}
+
+	w, err := loadWorkload(*wdlPath, *workloadName)
+	if err != nil {
+		fatal(err)
+	}
+	dur, err := workload.ParseDuration(*duration)
+	if err != nil {
+		fatal(fmt.Errorf("bad -duration: %w", err))
+	}
+	win, err := workload.ParseDuration(*window)
+	if err != nil {
+		fatal(fmt.Errorf("bad -window: %w", err))
+	}
+
+	stack := fsbench.StackConfig{
+		FS:              *fsName,
+		Device:          *devName,
+		DiskBytes:       64 << 30,
+		RAMBytes:        *ramMB << 20,
+		OSReserveBytes:  *reserveMB << 20,
+		OSReserveJitter: *jitterMB << 20,
+		CachePolicy:     *policy,
+		Readahead:       *readahead,
+		L2Bytes:         *l2MB << 20,
+	}
+
+	fmt.Printf("workload: %s\nstack:    %s\n", w.Name, stack)
+	cov := core.ClassifyWorkload(w, stack.CacheBytesMean())
+	var dims []string
+	for _, d := range core.AllDimensions() {
+		if cov[d] != core.NotCovered {
+			dims = append(dims, fmt.Sprintf("%s(%s)", d, cov[d]))
+		}
+	}
+	fmt.Printf("measures: %s\n\n", strings.Join(dims, " "))
+
+	exp := &fsbench.Experiment{
+		Name:          w.Name,
+		Stack:         stack,
+		Workload:      w,
+		Runs:          *runs,
+		Duration:      dur,
+		MeasureWindow: win,
+		ColdCache:     *cold,
+		Seed:          *seed,
+	}
+	res, err := exp.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("%s: %d runs x %s (window %s)", w.Name, *runs, dur, win),
+		Headers: []string{"run", "seed", "ops/s", "cache MB", "hit ratio", "errors"},
+	}
+	for i, m := range res.PerRun {
+		t.AddRow(
+			fmt.Sprintf("%d", i),
+			fmt.Sprintf("%d", m.Seed),
+			fmt.Sprintf("%.1f", m.Throughput),
+			fmt.Sprintf("%d", m.CacheBytes>>20),
+			fmt.Sprintf("%.3f", m.HitRatio),
+			fmt.Sprintf("%d", m.Errors),
+		)
+	}
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		fatal(err)
+	}
+	s := res.Throughput
+	fmt.Printf("\nthroughput: mean=%.1f ops/s  sd=%.1f  rsd=%.1f%%  95%% CI [%.1f, %.1f]\n",
+		s.Mean, s.StdDev, s.RSD*100, s.CI95Lo, s.CI95Hi)
+	fmt.Printf("verdict:    %s\n", res.Flags)
+	if res.Flags.Any() {
+		fmt.Println()
+		if res.Flags.Bimodal {
+			fmt.Println("  ! latency is multi-modal: report the histogram, not the mean")
+		}
+		if res.Flags.NonStationary {
+			fmt.Println("  ! throughput never reached steady state: report the whole curve")
+		}
+		if res.Flags.HighVariance {
+			fmt.Println("  ! run-to-run variance is high: single-run numbers are meaningless")
+		}
+	}
+	if *showHist {
+		fmt.Println()
+		if err := report.Histogram(os.Stdout, "operation latency (log2 buckets)", res.Hist); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func loadWorkload(wdlPath, name string) (*fsbench.Workload, error) {
+	if wdlPath != "" {
+		f, err := os.Open(wdlPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return fsbench.ParseWDL(f)
+	}
+	w, ok := fsbench.WorkloadByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown personality %q (try -list)", name)
+	}
+	return w, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fsbench: %v\n", err)
+	os.Exit(1)
+}

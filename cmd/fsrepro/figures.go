@@ -1,0 +1,378 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	fsbench "repro"
+	"repro/internal/report"
+	"repro/internal/survey"
+	"repro/internal/workload"
+)
+
+// Protocol is the measurement protocol: the paper's or a scaled quick
+// variant.
+type Protocol struct {
+	Runs     int
+	Duration fsbench.Time
+	Window   fsbench.Time
+	// Fig2Duration is the warm-up timeline length (the transition
+	// itself takes ~15 minutes regardless of protocol).
+	Fig2Duration fsbench.Time
+	// Fig4Duration matches the paper's 280 s Figure 4 x-axis.
+	Fig4Duration fsbench.Time
+	Seed         uint64
+	OutDir       string
+}
+
+func quickProtocol() Protocol {
+	return Protocol{
+		Runs:         5,
+		Duration:     60 * fsbench.Second,
+		Window:       30 * fsbench.Second,
+		Fig2Duration: 1200 * fsbench.Second,
+		Fig4Duration: 280 * fsbench.Second,
+	}
+}
+
+func paperProtocol() Protocol {
+	return Protocol{
+		Runs:         10,
+		Duration:     20 * fsbench.Minute,
+		Window:       fsbench.Minute,
+		Fig2Duration: 1200 * fsbench.Second,
+		Fig4Duration: 280 * fsbench.Second,
+	}
+}
+
+func csvTo(w io.Writer, headers []string, rows [][]string) error {
+	return report.CSV(w, headers, rows)
+}
+
+// figure1 sweeps file size 64 MB → 1024 MB in 64 MB steps on the
+// paper stack, reporting throughput and relative standard deviation.
+func figure1(proto Protocol) error {
+	fmt.Println("=== Figure 1: Ext2 random-read throughput and relative std dev vs file size ===")
+	stack := fsbench.PaperStack()
+	var sizes []int64
+	for mb := int64(64); mb <= 1024; mb += 64 {
+		sizes = append(sizes, mb<<20)
+	}
+	sweep := fsbench.FileSizeSweep(stack, sizes, proto.Runs, proto.Duration, proto.Window, proto.Seed)
+	res, err := sweep.Run()
+	if err != nil {
+		return err
+	}
+
+	t := &report.Table{
+		Headers: []string{"file size", "ops/sec", "rsd %", "95% CI", "flags"},
+	}
+	var rows [][]string
+	var xs, tp, rsd []float64
+	for _, p := range res.Points {
+		s := p.Result.Throughput
+		sizeMB := int64(p.X) >> 20
+		t.AddRow(
+			fmt.Sprintf("%dm", sizeMB),
+			fmt.Sprintf("%.0f", s.Mean),
+			fmt.Sprintf("%.1f", s.RSD*100),
+			fmt.Sprintf("[%.0f, %.0f]", s.CI95Lo, s.CI95Hi),
+			p.Result.Flags.String(),
+		)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", sizeMB),
+			fmt.Sprintf("%.2f", s.Mean),
+			fmt.Sprintf("%.4f", s.RSD),
+			fmt.Sprintf("%.2f", s.CI95Lo),
+			fmt.Sprintf("%.2f", s.CI95Hi),
+		})
+		xs = append(xs, float64(sizeMB))
+		tp = append(tp, s.Mean)
+		rsd = append(rsd, s.RSD*100)
+	}
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	frag := res.Fragility(0.10)
+	fmt.Printf("\nfragility: %s\n\n", frag)
+	chart := &report.Chart{
+		Title:  "throughput (log scale, *) and RSD%% (o) vs file size",
+		XLabel: "file size 64m..1024m",
+		X:      xs,
+		LogY:   true,
+		Series: []report.ChartSeries{
+			{Name: "ops/sec", Y: tp, Marker: '*'},
+			{Name: "rsd %", Y: rsd, Marker: 'o'},
+		},
+	}
+	if _, err := chart.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := writeCSV(proto, "figure1.csv",
+		[]string{"file_mb", "ops_per_sec", "rsd", "ci95_lo", "ci95_hi"}, rows); err != nil {
+		return err
+	}
+
+	// The §3.1 observation behind Figure 1: at fine granularity the
+	// transition region's relative standard deviation "skyrockets by
+	// up to 35% (not visible on the figure because it only depicts
+	// data points with a 64MB step)". Sweep the region around the
+	// cache size in 2 MB steps to expose it.
+	fmt.Println("--- Figure 1 fine sweep: 2 MB steps across the cache boundary ---")
+	var fine []int64
+	for mb := int64(400); mb <= 420; mb += 2 {
+		fine = append(fine, mb<<20)
+	}
+	fineSweep := fsbench.FileSizeSweep(stack, fine, proto.Runs, proto.Duration, proto.Window, proto.Seed+1000)
+	fineRes, err := fineSweep.Run()
+	if err != nil {
+		return err
+	}
+	ft := &report.Table{Headers: []string{"file size", "ops/sec", "rsd %", "flags"}}
+	var fineRows [][]string
+	maxRSD := 0.0
+	for _, p := range fineRes.Points {
+		s := p.Result.Throughput
+		if s.RSD > maxRSD {
+			maxRSD = s.RSD
+		}
+		ft.AddRow(
+			fmt.Sprintf("%dm", int64(p.X)>>20),
+			fmt.Sprintf("%.0f", s.Mean),
+			fmt.Sprintf("%.1f", s.RSD*100),
+			p.Result.Flags.String(),
+		)
+		fineRows = append(fineRows, []string{
+			fmt.Sprintf("%d", int64(p.X)>>20),
+			fmt.Sprintf("%.2f", s.Mean),
+			fmt.Sprintf("%.4f", s.RSD),
+		})
+	}
+	if _, err := ft.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nworst transition-region RSD: %.0f%% (paper: \"skyrockets by up to 35%%\")\n", maxRSD*100)
+	fineFrag := fineRes.Fragility(0.10)
+	if fineFrag.Found {
+		fmt.Printf("fine fragility: fragile region %d..%d MB, max adjacent ratio %.1fx\n\n",
+			int64(fineFrag.LoX)>>20, int64(fineFrag.HiX)>>20, fineFrag.MaxAdjacentRatio)
+	} else {
+		fmt.Printf("fine fragility: %s\n\n", fineFrag)
+	}
+	return writeCSV(proto, "figure1fine.csv",
+		[]string{"file_mb", "ops_per_sec", "rsd"}, fineRows)
+}
+
+// figure1zoom reproduces the §3.1 zoom: the cliff localized to a few
+// MB by self-scaling search.
+func figure1zoom(proto Protocol) error {
+	fmt.Println("=== Figure 1 zoom (§3.1): localizing the cliff ===")
+	stack := fsbench.PaperStack()
+	cfg := fsbench.SelfScaleConfig{
+		Stack: stack,
+		Runs:  1,
+		// The cliff search needs many evaluations; keep each short.
+		Duration: 30 * fsbench.Second,
+		Window:   15 * fsbench.Second,
+		Seed:     proto.Seed,
+	}
+	base := fsbench.SelfScaleParams{IOSize: 2 << 10, ReadFrac: 1, SeqFrac: 0, Threads: 1}
+	cliff, err := fsbench.CliffSearch(cfg, base, 384<<20, 448<<20, 3, 2<<20)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", cliff)
+	fmt.Printf("paper: \"performance drops within an even narrower region — less than 6MB in size\"\n\n")
+	return writeCSV(proto, "figure1zoom.csv",
+		[]string{"lo_mb", "hi_mb", "width_mb", "ops_lo", "ops_hi", "evals"},
+		[][]string{{
+			fmt.Sprintf("%d", cliff.LoBytes>>20),
+			fmt.Sprintf("%d", cliff.HiBytes>>20),
+			fmt.Sprintf("%.1f", float64(cliff.Width())/(1<<20)),
+			fmt.Sprintf("%.0f", cliff.OpsLo),
+			fmt.Sprintf("%.0f", cliff.OpsHi),
+			fmt.Sprintf("%d", cliff.Evaluations),
+		}})
+}
+
+// figure2 regenerates the warm-up timelines: ext2, ext3, xfs reading
+// a 410 MB file from cold, throughput every 10 s.
+func figure2(proto Protocol) error {
+	fmt.Println("=== Figure 2: Ext2, Ext3, XFS throughput by time (410 MB file, cold cache) ===")
+	type curve struct {
+		name  string
+		rates []float64
+	}
+	var curves []curve
+	for _, fsName := range []string{"ext2", "ext3", "xfs"} {
+		stack := fsbench.PaperStack()
+		stack.FS = fsName
+		stack.OSReserveJitter = 0 // one run per system, as in the paper
+		exp := &fsbench.Experiment{
+			Name:           "fig2-" + fsName,
+			Stack:          stack,
+			Workload:       fsbench.RandomRead(410<<20, 2<<10, 1),
+			Runs:           1,
+			Duration:       proto.Fig2Duration,
+			ColdCache:      true,
+			Seed:           proto.Seed,
+			SeriesInterval: 10 * fsbench.Second,
+			Kinds:          []fsbench.OpKind{workload.OpReadRand},
+		}
+		res, err := exp.Run()
+		if err != nil {
+			return err
+		}
+		curves = append(curves, curve{fsName, res.PerRun[0].Series.Rates()})
+		fmt.Printf("  %s: non-stationary=%v (the whole curve is the result)\n",
+			fsName, res.Flags.NonStationary)
+	}
+	n := len(curves[0].rates)
+	for _, c := range curves {
+		if len(c.rates) < n {
+			n = len(c.rates)
+		}
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i * 10)
+	}
+	chart := &report.Chart{
+		Title:  "ops/sec vs time (10s buckets)",
+		XLabel: fmt.Sprintf("time 0..%ds", (n-1)*10),
+		X:      xs,
+		Series: []report.ChartSeries{
+			{Name: "ext2", Y: curves[0].rates[:n], Marker: '2'},
+			{Name: "ext3", Y: curves[1].rates[:n], Marker: '3'},
+			{Name: "xfs", Y: curves[2].rates[:n], Marker: 'x'},
+		},
+	}
+	if _, err := chart.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	headers := []string{"t_sec", "ext2_ops", "ext3_ops", "xfs_ops"}
+	var rows [][]string
+	for i := 0; i < n; i++ {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i*10),
+			fmt.Sprintf("%.1f", curves[0].rates[i]),
+			fmt.Sprintf("%.1f", curves[1].rates[i]),
+			fmt.Sprintf("%.1f", curves[2].rates[i]),
+		})
+	}
+	return writeCSV(proto, "figure2.csv", headers, rows)
+}
+
+// figure3 regenerates the three read-latency histograms: 64 MB,
+// 1024 MB, and 25 GB files at steady state.
+func figure3(proto Protocol) error {
+	fmt.Println("=== Figure 3: Ext2 read latency histograms by file size ===")
+	var rows [][]string
+	for _, size := range []int64{64 << 20, 1024 << 20, 25 << 30} {
+		stack := fsbench.PaperStack()
+		exp := &fsbench.Experiment{
+			Name:          fmt.Sprintf("fig3-%dMB", size>>20),
+			Stack:         stack,
+			Workload:      fsbench.RandomRead(size, 2<<10, 1),
+			Runs:          1,
+			Duration:      proto.Duration,
+			MeasureWindow: proto.Window,
+			Seed:          proto.Seed,
+			Kinds:         []fsbench.OpKind{workload.OpReadRand},
+		}
+		res, err := exp.Run()
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("(%c) %d MB file", 'a'+len(rows)/33, size>>20)
+		if size >= 1<<30 {
+			label = fmt.Sprintf("(%c) %d GB file", 'a'+len(rows)/33, size>>30)
+		}
+		fmt.Println()
+		if err := report.Histogram(os.Stdout, label, res.Hist); err != nil {
+			return err
+		}
+		modes := res.Hist.Modes(0.05)
+		fmt.Printf("  modes: %d %v  bimodal-flag: %v\n", len(modes), modes, res.Flags.Bimodal)
+		pct := res.Hist.Percentages()
+		for b := 0; b < 33; b++ {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", size>>20),
+				fmt.Sprintf("%d", b),
+				fmt.Sprintf("%.3f", pct[b]),
+			})
+		}
+	}
+	fmt.Println()
+	return writeCSV(proto, "figure3.csv",
+		[]string{"file_mb", "log2_bucket", "percent_ops"}, rows)
+}
+
+// figure4 regenerates the histogram-over-time view: 256 MB file on
+// ext2, cold start, snapshots every 10 s for 280 s.
+func figure4(proto Protocol) error {
+	fmt.Println("=== Figure 4: latency histograms by time (Ext2, 256 MB file, cold cache) ===")
+	stack := fsbench.PaperStack()
+	stack.OSReserveJitter = 0
+	exp := &fsbench.Experiment{
+		Name:             "fig4",
+		Stack:            stack,
+		Workload:         fsbench.RandomRead(256<<20, 2<<10, 1),
+		Runs:             1,
+		Duration:         proto.Fig4Duration,
+		ColdCache:        true,
+		Seed:             proto.Seed,
+		TimelineInterval: 10 * fsbench.Second,
+		Kinds:            []fsbench.OpKind{workload.OpReadRand},
+	}
+	res, err := exp.Run()
+	if err != nil {
+		return err
+	}
+	tl := res.PerRun[0].Timeline
+	var rows [][]string
+	fmt.Println("\n  t(s)   dominant modes (log2 bucket: % of ops)")
+	for i := 0; i < tl.Snapshots(); i++ {
+		h := tl.At(i)
+		if h == nil || h.Count() < 50 {
+			continue // partial tail snapshots mislead
+		}
+		pct := h.Percentages()
+		line := fmt.Sprintf("  %4d  ", i*10)
+		for _, m := range h.Modes(0.05) {
+			line += fmt.Sprintf(" %2d:%5.1f%%", m, pct[m])
+		}
+		fmt.Println(line)
+		for b := 0; b < 33; b++ {
+			if pct[b] == 0 {
+				continue
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", i*10),
+				fmt.Sprintf("%d", b),
+				fmt.Sprintf("%.3f", pct[b]),
+			})
+		}
+	}
+	fmt.Println()
+	return writeCSV(proto, "figure4.csv",
+		[]string{"t_sec", "log2_bucket", "percent_ops"}, rows)
+}
+
+// table1 renders the survey table.
+func table1(proto Protocol) error {
+	fmt.Println("=== Table 1: Benchmarks Summary ===")
+	if err := survey.Render(os.Stdout, survey.Table1()); err != nil {
+		return err
+	}
+	fmt.Println()
+	f, err := os.Create(outPath(proto, "table1.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return survey.RenderCSV(f, survey.Table1())
+}

@@ -1,0 +1,99 @@
+// Command fsrepro regenerates every table and figure from the paper's
+// evaluation on the simulated stack. Text renditions go to stdout;
+// raw data series go to CSV files under -out for real plotting.
+//
+// Usage:
+//
+//	fsrepro -all            # quick protocol (60 s runs, 5 repeats)
+//	fsrepro -all -full      # the paper's protocol (20 min runs, 10 repeats)
+//	fsrepro -fig 1 -fig 3   # individual figures
+//	fsrepro -table 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var figs multiFlag
+	flag.Var(&figs, "fig", "figure to regenerate: 1, 1zoom, 2, 3, 4 (repeatable)")
+	var (
+		table = flag.String("table", "", "table to regenerate: 1")
+		all   = flag.Bool("all", false, "regenerate everything")
+		full  = flag.Bool("full", false, "use the paper's full protocol (20 min runs, 10 repeats)")
+		out   = flag.String("out", "results", "directory for CSV data files")
+		seed  = flag.Uint64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	proto := quickProtocol()
+	if *full {
+		proto = paperProtocol()
+	}
+	proto.Seed = *seed
+	proto.OutDir = *out
+
+	if *all {
+		figs = multiFlag{"1", "1zoom", "2", "3", "4"}
+		*table = "1"
+	}
+	if len(figs) == 0 && *table == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, f := range figs {
+		var err error
+		switch f {
+		case "1":
+			err = figure1(proto)
+		case "1zoom":
+			err = figure1zoom(proto)
+		case "2":
+			err = figure2(proto)
+		case "3":
+			err = figure3(proto)
+		case "4":
+			err = figure4(proto)
+		default:
+			err = fmt.Errorf("unknown figure %q", f)
+		}
+		if err != nil {
+			fatal(fmt.Errorf("figure %s: %w", f, err))
+		}
+	}
+	if *table == "1" {
+		if err := table1(proto); err != nil {
+			fatal(fmt.Errorf("table 1: %w", err))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fsrepro: %v\n", err)
+	os.Exit(1)
+}
+
+func outPath(proto Protocol, name string) string {
+	return filepath.Join(proto.OutDir, name)
+}
+
+func writeCSV(proto Protocol, name string, headers []string, rows [][]string) error {
+	f, err := os.Create(outPath(proto, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return csvTo(f, headers, rows)
+}

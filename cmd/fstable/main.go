@@ -1,0 +1,86 @@
+// Command fstable prints the paper's Table 1 benchmark survey and,
+// given a workload, classifies which file-system dimensions it
+// actually measures — the question the paper says researchers never
+// ask.
+//
+// Usage:
+//
+//	fstable                         # print Table 1
+//	fstable -csv                    # ... as CSV
+//	fstable -classify randomread    # classify a stock personality
+//	fstable -classify-wdl w.wdl     # classify a WDL workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	fsbench "repro"
+	"repro/internal/core"
+	"repro/internal/survey"
+)
+
+func main() {
+	var (
+		asCSV       = flag.Bool("csv", false, "emit CSV instead of the text table")
+		classify    = flag.String("classify", "", "classify a stock personality by name")
+		classifyWDL = flag.String("classify-wdl", "", "classify a WDL workload file")
+		cacheMB     = flag.Int64("cache", 410, "assumed page-cache size in MB for classification")
+	)
+	flag.Parse()
+
+	switch {
+	case *classify != "" || *classifyWDL != "":
+		w, err := load(*classify, *classifyWDL)
+		if err != nil {
+			fatal(err)
+		}
+		cov := core.ClassifyWorkload(w, *cacheMB<<20)
+		fmt.Printf("workload %q on a %d MB cache measures:\n", w.Name, *cacheMB)
+		for _, d := range core.AllDimensions() {
+			fmt.Printf("  %-10s %s\n", d, describe(cov[d]))
+		}
+		fmt.Println("\nlegend: • isolates the dimension, ◦ exercises it without isolating it")
+	case *asCSV:
+		if err := survey.RenderCSV(os.Stdout, survey.Table1()); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := survey.Render(os.Stdout, survey.Table1()); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func load(name, wdl string) (*fsbench.Workload, error) {
+	if wdl != "" {
+		f, err := os.Open(wdl)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return fsbench.ParseWDL(f)
+	}
+	w, ok := fsbench.WorkloadByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown personality %q", name)
+	}
+	return w, nil
+}
+
+func describe(c core.Coverage) string {
+	switch c {
+	case core.Isolates:
+		return "• isolates"
+	case core.Touches:
+		return "◦ exercises (does not isolate)"
+	default:
+		return "  not measured"
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fstable: %v\n", err)
+	os.Exit(1)
+}

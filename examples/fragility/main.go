@@ -1,0 +1,52 @@
+// Fragility: reproduce Figure 1's lesson end to end — sweep file size
+// across the page-cache boundary, find the cliff, zoom into the
+// transition, and watch run-to-run variance explode exactly where the
+// working set meets the cache.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fsbench "repro"
+)
+
+func main() {
+	stack := fsbench.PaperStack()
+	cacheMB := stack.CacheBytesMean() >> 20
+	fmt.Printf("stack: %s (expected page cache ~%d MB)\n\n", stack, cacheMB)
+
+	// Coarse sweep, 128 MB steps (fast version of Figure 1).
+	var sizes []int64
+	for mb := int64(128); mb <= 896; mb += 128 {
+		sizes = append(sizes, mb<<20)
+	}
+	sweep := fsbench.FileSizeSweep(stack, sizes, 4, 30*fsbench.Second, 15*fsbench.Second, 1)
+	res, err := sweep.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("file size   ops/s     rsd%   flags")
+	for _, p := range res.Points {
+		s := p.Result.Throughput
+		fmt.Printf("%6dm   %8.0f   %5.1f   %s\n",
+			int64(p.X)>>20, s.Mean, s.RSD*100, p.Result.Flags)
+	}
+	first := res.Points[0].Result.Throughput.Mean
+	last := res.Points[len(res.Points)-1].Result.Throughput.Mean
+	fmt.Printf("\nspan: %.0fx between the smallest and largest file\n", first/last)
+
+	// Now zoom: the cliff search localizes the drop to a few MB.
+	cfg := fsbench.SelfScaleConfig{
+		Stack: stack, Runs: 1,
+		Duration: 20 * fsbench.Second, Window: 10 * fsbench.Second, Seed: 2,
+	}
+	base := fsbench.SelfScaleParams{IOSize: 2 << 10, ReadFrac: 1, SeqFrac: 0, Threads: 1}
+	cliff, err := fsbench.CliffSearch(cfg, base, 384<<20, 448<<20, 3, 2<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nzoom: %s\n", cliff)
+	fmt.Println("\npaper: \"even the simplest of benchmarks can be fragile, producing")
+	fmt.Println("performance results spanning orders of magnitude\" — q.e.d.")
+}

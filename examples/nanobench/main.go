@@ -1,0 +1,47 @@
+// Nanobench: run the paper's §4 proposal — a suite of nano-benchmarks
+// that each isolate one file-system dimension — across the three
+// file-system models, producing a per-dimension comparison instead of
+// one meaningless aggregate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fsbench "repro"
+)
+
+func main() {
+	suite := fsbench.DefaultNanoSuite()
+	systems := []string{"ext2", "ext3", "xfs"}
+	results := map[string][]fsbench.NanoScore{}
+
+	for _, fsName := range systems {
+		stack := fsbench.PaperStack()
+		stack.FS = fsName
+		// A smaller RAM keeps the cache benches quick.
+		stack.RAMBytes = 128 << 20
+		stack.OSReserveBytes = 26 << 20
+		stack.OSReserveJitter = 0
+		scores, err := suite.RunAll(stack, 1)
+		if err != nil {
+			log.Fatalf("%s: %v", fsName, err)
+		}
+		results[fsName] = scores
+	}
+
+	fmt.Printf("%-18s %-10s %14s %14s %14s\n", "nano-benchmark", "dimension", "ext2", "ext3", "xfs")
+	fmt.Println("--------------------------------------------------------------------------")
+	for i, b := range suite.Benchmarks {
+		fmt.Printf("%-18s %-10s", b.Name, b.Dimension)
+		for _, fsName := range systems {
+			fmt.Printf(" %14.1f", results[fsName][i].Value)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	for _, b := range []int{2, 3, 8} {
+		fmt.Printf("units for %-18s %s\n", suite.Benchmarks[b].Name+":", results["ext2"][b].Unit)
+	}
+	fmt.Println("\neach row isolates one dimension; no row pretends to summarize the others.")
+}

@@ -1,0 +1,62 @@
+// Selfscaling: the Chen & Patterson style self-scaling benchmark the
+// paper cites as the way to "collect data for such graphs" — sweep
+// each workload parameter around a base point, then let the cliff
+// search localize the memory/disk boundary automatically.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fsbench "repro"
+	"repro/internal/selfscale"
+)
+
+func main() {
+	stack := fsbench.PaperStack()
+	cfg := selfscale.Config{
+		Stack: stack, Runs: 1,
+		Duration: 20 * fsbench.Second, Window: 10 * fsbench.Second, Seed: 5,
+	}
+	base := fsbench.SelfScaleDefaults(stack)
+	fmt.Printf("base point: workingset=%dMB iosize=%dKB readfrac=%.1f seqfrac=%.1f threads=%d\n\n",
+		base.UniqueBytes>>20, base.IOSize>>10, base.ReadFrac, base.SeqFrac, base.Threads)
+
+	// Sweep each axis around the base point.
+	axes := []struct {
+		param  string
+		values []float64
+		format func(float64) string
+	}{
+		{"uniquebytes", []float64{64 << 20, 256 << 20, 410 << 20, 512 << 20, 1 << 30},
+			func(v float64) string { return fmt.Sprintf("%dMB", int64(v)>>20) }},
+		{"iosize", []float64{2 << 10, 8 << 10, 64 << 10},
+			func(v float64) string { return fmt.Sprintf("%dKB", int64(v)>>10) }},
+		{"readfrac", []float64{0, 0.5, 1},
+			func(v float64) string { return fmt.Sprintf("%.1f", v) }},
+		{"seqfrac", []float64{0, 0.5, 1},
+			func(v float64) string { return fmt.Sprintf("%.1f", v) }},
+		{"threads", []float64{1, 4, 8},
+			func(v float64) string { return fmt.Sprintf("%d", int(v)) }},
+	}
+	for _, axis := range axes {
+		pts, err := selfscale.SweepParam(cfg, base, axis.param, axis.values)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s:", axis.param)
+		for _, p := range pts {
+			fmt.Printf("  %s=%.0f", axis.format(p.X), p.Ops)
+		}
+		fmt.Println()
+	}
+
+	// And the automatic cliff localization.
+	readOnly := fsbench.SelfScaleParams{IOSize: 2 << 10, ReadFrac: 1, SeqFrac: 0, Threads: 1}
+	cliff, err := fsbench.CliffSearch(cfg, readOnly, 256<<20, 768<<20, 3, 2<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nautomatic cliff localization: %s\n", cliff)
+	fmt.Printf("(the page cache on this run holds ~%d MB)\n", stack.CacheBytesMean()>>20)
+}

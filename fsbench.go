@@ -1,0 +1,281 @@
+// Package fsbench is a statistically rigorous, dimension-aware file
+// system benchmarking framework — a working implementation of the
+// methodology called for in "Benchmarking File System Benchmarking:
+// It *IS* Rocket Science" (Tarasov, Bhanage, Zadok, Seltzer; HotOS
+// XIII, 2011), together with the complete simulated storage stack
+// (disk models, page cache, Ext2/Ext3/XFS-like file systems, VFS)
+// needed to reproduce every figure and table in that paper
+// deterministically.
+//
+// # Quick start
+//
+//	stack := fsbench.PaperStack()           // ext2, SATA disk, 512 MB RAM
+//	exp := &fsbench.Experiment{
+//	    Name:     "randomread-410MB",
+//	    Stack:    stack,
+//	    Workload: fsbench.RandomRead(410<<20, 2<<10, 1),
+//	    Runs:     10,
+//	    Duration: 20 * fsbench.Minute,
+//	    MeasureWindow: fsbench.Minute,     // "report only the last minute"
+//	    Seed:     1,
+//	}
+//	res, err := exp.Run()
+//	// res.Throughput: mean, stddev, RSD, 95% CI across the 10 runs
+//	// res.Hist:       log2 latency histogram (the paper's Figure 3)
+//	// res.Flags:      Bimodal / NonStationary / HighVariance refusals
+//
+// # What lives where
+//
+//   - Experiments, sweeps, fragility analysis, comparisons: this
+//     package (re-exported from internal/core).
+//   - Workload personalities and the WDL language: RandomRead,
+//     WebServer, ..., ParseWDL (internal/workload).
+//   - The nano-benchmark suite of §4: NanoSuite (internal/nano).
+//   - The self-scaling benchmark and cliff search: SelfScale*,
+//     CliffSearch (internal/selfscale).
+//   - Table 1 survey data: SurveyTable1 (internal/survey).
+//   - Trace capture and replay: NewTraceRecorder, Replay
+//     (internal/trace).
+//
+// Everything runs under virtual time: results are exactly
+// reproducible from (configuration, seed) and host-machine noise
+// cannot leak into them. Variance is *modeled* where the paper locates
+// it — disk mechanics and run-to-run cache availability — so the
+// fragility phenomena the paper demonstrates appear for the reasons
+// the paper gives, not as simulation artifacts.
+package fsbench
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/nano"
+	"repro/internal/selfscale"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/survey"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Virtual-time units (see sim.Time).
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+)
+
+// Time is a virtual-time instant or duration in nanoseconds.
+type Time = sim.Time
+
+// Core experiment machinery.
+type (
+	// StackConfig describes a system under test (file system, device,
+	// memory, cache policy); see PaperStack for the paper's testbed.
+	StackConfig = core.StackConfig
+	// Experiment is a multi-run measured configuration.
+	Experiment = core.Experiment
+	// Result aggregates an experiment's runs with summary statistics,
+	// a merged latency histogram, and refusal flags.
+	Result = core.Result
+	// RunMeasure is a single run's measurements.
+	RunMeasure = core.RunMeasure
+	// Flags are the conditions under which the harness refuses to
+	// stand behind a single number.
+	Flags = core.Flags
+	// Sweep runs an experiment across a parameter range.
+	Sweep = core.Sweep
+	// SweepResult is a full sweep curve.
+	SweepResult = core.SweepResult
+	// FragilityReport locates transition regions in a sweep.
+	FragilityReport = core.FragilityReport
+	// Comparison is a significance-gated two-system comparison.
+	Comparison = core.Comparison
+	// Dimension is one of the paper's five file-system dimensions.
+	Dimension = core.Dimension
+	// Coverage grades how strongly a workload exercises a dimension.
+	Coverage = core.Coverage
+)
+
+// Dimensions and coverage levels (Table 1 legend).
+const (
+	DimIO       = core.DimIO
+	DimOnDisk   = core.DimOnDisk
+	DimCaching  = core.DimCaching
+	DimMetaData = core.DimMetaData
+	DimScaling  = core.DimScaling
+
+	NotCovered = core.NotCovered
+	Touches    = core.Touches
+	Isolates   = core.Isolates
+)
+
+// PaperStack returns the paper's testbed configuration: Ext2 over the
+// Maxtor 7L250S0 SATA model with 512 MB RAM, ~102 MB of it held by
+// the OS with ±2 MB run-to-run jitter.
+func PaperStack() StackConfig { return core.PaperStack() }
+
+// Compare performs the significance-gated comparison of two results
+// at level alpha (Welch t-test and Mann-Whitney U must both agree).
+func Compare(a, b *Result, alpha float64) Comparison { return core.Compare(a, b, alpha) }
+
+// FileSizeSweep builds the paper's Figure 1 sweep: single-thread 2 KB
+// random reads at each file size.
+func FileSizeSweep(stack StackConfig, sizes []int64, runs int, duration, window Time, seed uint64) *Sweep {
+	return core.FileSizeSweep(stack, sizes, runs, duration, window, seed)
+}
+
+// ClassifyWorkload reports which dimensions a workload exercises on a
+// stack with the given cache size.
+func ClassifyWorkload(w *Workload, cacheBytes int64) map[Dimension]Coverage {
+	return core.ClassifyWorkload(w, cacheBytes)
+}
+
+// Workload construction.
+type (
+	// Workload is a Filebench-style benchmark description.
+	Workload = workload.Workload
+	// FileSet is a named collection of files.
+	FileSet = workload.FileSet
+	// ThreadSpec is a thread class looping over flowops.
+	ThreadSpec = workload.ThreadSpec
+	// Flowop is one operation in a thread's loop.
+	Flowop = workload.Flowop
+	// OpKind enumerates flowop operations.
+	OpKind = workload.OpKind
+)
+
+// Stock personalities (see internal/workload for parameters).
+var (
+	RandomRead      = workload.RandomRead
+	SequentialRead  = workload.SequentialRead
+	RandomWrite     = workload.RandomWrite
+	SequentialWrite = workload.SequentialWrite
+	CreateDelete    = workload.CreateDelete
+	WebServer       = workload.WebServer
+	FileServer      = workload.FileServer
+	VarMail         = workload.VarMail
+	OLTP            = workload.OLTP
+)
+
+// WorkloadByName builds a stock personality with representative
+// defaults ("randomread", "webserver", ...).
+func WorkloadByName(name string) (*Workload, bool) { return workload.ByName(name) }
+
+// ParseWDL reads a workload description in the WDL text format.
+func ParseWDL(r io.Reader) (*Workload, error) { return workload.ParseWDL(r) }
+
+// FormatWDL renders a workload as WDL text.
+func FormatWDL(w *Workload) string { return workload.FormatWDL(w) }
+
+// Measurement types.
+type (
+	// Histogram is a log2 latency histogram (Figures 3 and 4).
+	Histogram = metrics.Histogram
+	// TimeSeries is a throughput-over-time curve (Figure 2).
+	TimeSeries = metrics.TimeSeries
+	// HistogramTimeline is a latency histogram per interval (Figure 4).
+	HistogramTimeline = metrics.HistogramTimeline
+	// Summary is the descriptive-statistics bundle (mean, σ, RSD,
+	// 95% CI).
+	Summary = stats.Summary
+)
+
+// Nano-benchmark suite (§4's proposal).
+type (
+	// NanoScore is one nano-benchmark result.
+	NanoScore = nano.Score
+	// NanoSuite is an ordered set of nano-benchmarks.
+	NanoSuite = nano.Suite
+)
+
+// DefaultNanoSuite returns the paper's minimum suite: in-memory,
+// on-disk layout (fresh and aged), cache warm-up/eviction, meta-data
+// operations, plus raw-device and scaling tests.
+func DefaultNanoSuite() *NanoSuite { return nano.DefaultSuite() }
+
+// Self-scaling benchmark (Chen & Patterson '93, the paper's ref [3]).
+type (
+	// SelfScaleParams is the self-scaling parameter vector.
+	SelfScaleParams = selfscale.Params
+	// SelfScaleConfig tunes the evaluation protocol.
+	SelfScaleConfig = selfscale.Config
+	// Cliff is a located performance discontinuity.
+	Cliff = selfscale.Cliff
+)
+
+// CliffSearch bisects working-set size until the memory-to-disk cliff
+// is bracketed tighter than resolution — the paper's "<6 MB" zoom.
+func CliffSearch(cfg SelfScaleConfig, base SelfScaleParams, lo, hi int64, ratio float64, resolution int64) (Cliff, error) {
+	return selfscale.CliffSearch(cfg, base, lo, hi, ratio, resolution)
+}
+
+// SelfScaleDefaults returns a base point centered on the stack's
+// cache size.
+func SelfScaleDefaults(stack StackConfig) SelfScaleParams { return selfscale.DefaultParams(stack) }
+
+// Survey (Table 1).
+type SurveyEntry = survey.Entry
+
+// SurveyTable1 returns the paper's Table 1 rows.
+func SurveyTable1() []SurveyEntry { return survey.Table1() }
+
+// RenderSurvey writes Table 1 in the paper's layout.
+func RenderSurvey(w io.Writer) error { return survey.Render(w, survey.Table1()) }
+
+// Traces.
+type (
+	// Trace is an operation trace.
+	Trace = trace.Trace
+	// TraceRecorder collects a trace from a workload probe.
+	TraceRecorder = trace.Recorder
+	// ReplayResult summarizes a trace replay.
+	ReplayResult = trace.ReplayResult
+)
+
+// Trace replay modes.
+const (
+	ReplayTimed = trace.Timed
+	ReplayAFAP  = trace.AFAP
+)
+
+// NewTraceRecorder returns an empty trace recorder; install its
+// Hook() as the workload probe's Trace function.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// ReplayTrace builds a fresh stack from the configuration and replays
+// the trace against it from time zero.
+func ReplayTrace(t *Trace, stack StackConfig, seed uint64, mode trace.ReplayMode) (ReplayResult, error) {
+	m, err := stack.Build(sim.NewRNG(seed))
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	return trace.Replay(t, m, 0, mode)
+}
+
+// RecordWorkload runs a workload on a fresh stack for the given
+// duration while recording its operation trace.
+func RecordWorkload(w *Workload, stack StackConfig, duration Time, seed uint64) (*Trace, error) {
+	rng := sim.NewRNG(seed)
+	m, err := stack.Build(rng)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := workload.NewEngine(m, w, rng.Uint64())
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewRecorder()
+	eng.SetProbe(&workload.Probe{Trace: rec.Hook()})
+	start, err := eng.Setup(0)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := eng.Run(start, start+duration); err != nil {
+		return nil, err
+	}
+	return rec.Trace(), nil
+}

@@ -1,0 +1,369 @@
+// Package cache models a page-granular buffer cache with pluggable
+// eviction policies, readahead, dirty-page tracking, and an optional
+// second (flash) tier.
+//
+// The paper's central phenomena — the Figure 1 performance cliff, the
+// Figure 2 warm-up S-curve, the Figure 3/4 bimodal latency — are all
+// artifacts of cache population dynamics, so the cache is modeled in
+// full rather than as a hit-ratio formula. The paper also asks "how
+// are elements evicted from the cache?" and notes that no benchmark
+// measures it; here the eviction policy is a first-class, swappable
+// axis that the harness can sweep.
+package cache
+
+import "fmt"
+
+// PageSize is the cache granule in bytes, matching the x86 Linux page.
+const PageSize = 4096
+
+// PageID names one page of one file (or of file-system metadata, which
+// uses reserved File numbers chosen by the file system).
+type PageID struct {
+	File  uint64 // inode number or metadata stream id
+	Index int64  // page index within the file
+}
+
+// String formats the id for diagnostics.
+func (p PageID) String() string { return fmt.Sprintf("%d:%d", p.File, p.Index) }
+
+// Evicted reports a page pushed out of the cache and whether it was
+// dirty (the caller must then write it back).
+type Evicted struct {
+	ID    PageID
+	Dirty bool
+}
+
+// Stats counts cache events. PrefetchHits counts prefetched pages that
+// were later referenced before eviction — the measure of readahead
+// efficacy the paper asks for ("does the file system pre-fetch entire
+// files, blocks, or large extents?").
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Inserts       int64
+	Evictions     int64
+	DirtyEvict    int64
+	Invalidations int64
+	Prefetches    int64
+	PrefetchHits  int64
+}
+
+// HitRatio reports hits/(hits+misses), or 0 with no traffic.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type pageMeta struct {
+	dirty      bool
+	prefetched bool // inserted by readahead, not yet referenced
+}
+
+// Cache is a fixed-capacity page cache. It tracks residency and dirty
+// state; the I/O costs of hits, misses, and write-back belong to the
+// layer above (the VFS), which knows the device and the block mapping.
+//
+// Cache is not safe for concurrent use; the simulation core is
+// single-goroutine.
+type Cache struct {
+	capacity int // pages; 0 means cache disabled
+	pages    map[PageID]*pageMeta
+	policy   Policy
+	stats    Stats
+	dirty    int                 // resident dirty pages (kept incrementally)
+	dirtySet map[PageID]struct{} // the dirty pages themselves
+	// byFile indexes resident page indices per file so that
+	// InvalidateFile (unlink, truncate) need not scan the whole
+	// cache.
+	byFile map[uint64]map[int64]struct{}
+}
+
+// New returns a cache holding capacityPages pages under the given
+// eviction policy. A zero capacity is legal and means every lookup
+// misses (a "no cache" configuration for cold-cache nano-benchmarks).
+func New(capacityPages int, policy Policy) *Cache {
+	if capacityPages < 0 {
+		panic("cache: negative capacity")
+	}
+	if policy == nil {
+		panic("cache: nil policy")
+	}
+	policy.SetCapacity(capacityPages)
+	return &Cache{
+		capacity: capacityPages,
+		pages:    make(map[PageID]*pageMeta),
+		policy:   policy,
+		byFile:   make(map[uint64]map[int64]struct{}),
+		dirtySet: make(map[PageID]struct{}),
+	}
+}
+
+// markDirtyCounters and clearDirtyCounters keep the dirty-page
+// bookkeeping in one place.
+func (c *Cache) markDirtyCounters(id PageID) {
+	c.dirty++
+	c.dirtySet[id] = struct{}{}
+}
+
+func (c *Cache) clearDirtyCounters(id PageID) {
+	c.dirty--
+	delete(c.dirtySet, id)
+}
+
+// addIndex and delIndex maintain the per-file page index.
+func (c *Cache) addIndex(id PageID) {
+	m, ok := c.byFile[id.File]
+	if !ok {
+		m = make(map[int64]struct{})
+		c.byFile[id.File] = m
+	}
+	m[id.Index] = struct{}{}
+}
+
+func (c *Cache) delIndex(id PageID) {
+	if m, ok := c.byFile[id.File]; ok {
+		delete(m, id.Index)
+		if len(m) == 0 {
+			delete(c.byFile, id.File)
+		}
+	}
+}
+
+// Capacity reports the configured size in pages.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len reports the number of resident pages.
+func (c *Cache) Len() int { return len(c.pages) }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without touching contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Policy exposes the eviction policy (for reports).
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Contains reports residency without recording an access — for tests
+// and for readahead duplicate suppression.
+func (c *Cache) Contains(id PageID) bool {
+	_, ok := c.pages[id]
+	return ok
+}
+
+// Lookup records an access to id. It returns whether the page was
+// resident. A miss is reported to the policy (ARC and 2Q learn from
+// ghost hits).
+func (c *Cache) Lookup(id PageID) bool {
+	m, ok := c.pages[id]
+	if ok {
+		c.stats.Hits++
+		if m.prefetched {
+			m.prefetched = false
+			c.stats.PrefetchHits++
+		}
+		c.policy.OnAccess(id)
+		return true
+	}
+	c.stats.Misses++
+	c.policy.OnMiss(id)
+	return false
+}
+
+// Insert makes id resident (typically right after a miss was served
+// from the device) and returns any pages evicted to make room. If the
+// page is already resident the call only updates its dirty bit.
+func (c *Cache) Insert(id PageID, dirty bool) []Evicted {
+	return c.insert(id, dirty, false)
+}
+
+// InsertPrefetched inserts a page fetched by readahead. It is counted
+// separately so prefetch efficacy is measurable.
+func (c *Cache) InsertPrefetched(id PageID) []Evicted {
+	c.stats.Prefetches++
+	return c.insert(id, false, true)
+}
+
+func (c *Cache) insert(id PageID, dirty, prefetched bool) []Evicted {
+	if m, ok := c.pages[id]; ok {
+		if dirty && !m.dirty {
+			m.dirty = true
+			c.markDirtyCounters(id)
+		}
+		return nil
+	}
+	if c.capacity == 0 {
+		return nil
+	}
+	var evicted []Evicted
+	for len(c.pages) >= c.capacity {
+		victim, ok := c.policy.Victim()
+		if !ok {
+			// The policy lost track of a page; fail loudly — this is
+			// an invariant violation, not a recoverable state.
+			panic(fmt.Sprintf("cache: policy %q has no victim but cache holds %d/%d pages",
+				c.policy.Name(), len(c.pages), c.capacity))
+		}
+		vm := c.pages[victim]
+		if vm == nil {
+			panic(fmt.Sprintf("cache: policy %q evicted non-resident page %v", c.policy.Name(), victim))
+		}
+		delete(c.pages, victim)
+		c.delIndex(victim)
+		c.stats.Evictions++
+		if vm.dirty {
+			c.stats.DirtyEvict++
+			c.clearDirtyCounters(victim)
+		}
+		evicted = append(evicted, Evicted{ID: victim, Dirty: vm.dirty})
+	}
+	c.pages[id] = &pageMeta{dirty: dirty, prefetched: prefetched}
+	c.addIndex(id)
+	if dirty {
+		c.markDirtyCounters(id)
+	}
+	c.policy.OnInsert(id)
+	c.stats.Inserts++
+	return evicted
+}
+
+// MarkDirty sets the dirty bit on a resident page. It reports whether
+// the page was resident.
+func (c *Cache) MarkDirty(id PageID) bool {
+	m, ok := c.pages[id]
+	if !ok {
+		return false
+	}
+	if !m.dirty {
+		m.dirty = true
+		c.markDirtyCounters(id)
+	}
+	return true
+}
+
+// Clean clears the dirty bit (after write-back).
+func (c *Cache) Clean(id PageID) {
+	if m, ok := c.pages[id]; ok && m.dirty {
+		m.dirty = false
+		c.clearDirtyCounters(id)
+	}
+}
+
+// IsDirty reports the dirty bit of a resident page.
+func (c *Cache) IsDirty(id PageID) bool {
+	m, ok := c.pages[id]
+	return ok && m.dirty
+}
+
+// DirtyCount reports the number of dirty resident pages. It is O(1);
+// the write-back trigger calls it on every operation.
+func (c *Cache) DirtyCount() int { return c.dirty }
+
+// CollectDirty appends up to max dirty page ids to dst and returns it.
+// The write-back flusher uses this; pass max <= 0 for all dirty pages.
+// Cost scales with the number of dirty pages, not the cache size.
+func (c *Cache) CollectDirty(dst []PageID, max int) []PageID {
+	for id := range c.dirtySet {
+		dst = append(dst, id)
+		if max > 0 && len(dst) >= max {
+			break
+		}
+	}
+	return dst
+}
+
+// CollectDirtyFile appends the dirty pages of one file to dst —
+// fsync's working set.
+func (c *Cache) CollectDirtyFile(dst []PageID, file uint64) []PageID {
+	for id := range c.dirtySet {
+		if id.File == file {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// Invalidate drops a page regardless of dirty state (used by truncate
+// and unlink, where the data is going away anyway). It reports whether
+// the page was resident.
+func (c *Cache) Invalidate(id PageID) bool {
+	m, ok := c.pages[id]
+	if !ok {
+		return false
+	}
+	if m.dirty {
+		c.clearDirtyCounters(id)
+	}
+	delete(c.pages, id)
+	c.delIndex(id)
+	c.policy.OnRemove(id)
+	c.stats.Invalidations++
+	return true
+}
+
+// InvalidateFile drops every resident page of the given file and
+// returns how many were dropped. It uses the per-file index, so its
+// cost scales with the file's resident pages, not the cache size.
+func (c *Cache) InvalidateFile(file uint64) int {
+	idx, ok := c.byFile[file]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for pageIdx := range idx {
+		id := PageID{File: file, Index: pageIdx}
+		if m := c.pages[id]; m != nil && m.dirty {
+			c.clearDirtyCounters(id)
+		}
+		delete(c.pages, id)
+		c.policy.OnRemove(id)
+		n++
+	}
+	delete(c.byFile, file)
+	c.stats.Invalidations += int64(n)
+	return n
+}
+
+// Resize changes capacity, evicting as needed, and returns the evicted
+// pages. The harness uses it to model per-run variation in available
+// memory — the paper's "just a few megabytes more (or less) available
+// in the cache" fragility.
+func (c *Cache) Resize(capacityPages int) []Evicted {
+	if capacityPages < 0 {
+		panic("cache: negative capacity")
+	}
+	c.capacity = capacityPages
+	c.policy.SetCapacity(capacityPages)
+	var evicted []Evicted
+	for len(c.pages) > c.capacity {
+		victim, ok := c.policy.Victim()
+		if !ok {
+			panic("cache: no victim during resize")
+		}
+		vm := c.pages[victim]
+		delete(c.pages, victim)
+		c.delIndex(victim)
+		c.stats.Evictions++
+		if vm.dirty {
+			c.stats.DirtyEvict++
+			c.clearDirtyCounters(victim)
+		}
+		evicted = append(evicted, Evicted{ID: victim, Dirty: vm.dirty})
+	}
+	return evicted
+}
+
+// Flush removes every page (writing nothing); tests and unmount use
+// it after the caller has written dirty pages back.
+func (c *Cache) Flush() {
+	for id := range c.pages {
+		c.policy.OnRemove(id)
+		delete(c.pages, id)
+	}
+	c.byFile = make(map[uint64]map[int64]struct{})
+	c.dirtySet = make(map[PageID]struct{})
+	c.dirty = 0
+}

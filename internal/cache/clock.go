@@ -1,0 +1,74 @@
+package cache
+
+import "container/list"
+
+// Clock approximates LRU with a reference bit and a sweeping hand —
+// the classic CLOCK algorithm used where true LRU bookkeeping on every
+// hit is too expensive.
+type Clock struct {
+	ring  *list.List // hand sweeps from Back towards Front
+	items map[PageID]*clockEntry
+}
+
+type clockEntry struct {
+	elem *list.Element
+	ref  bool
+}
+
+// NewClock returns an empty CLOCK policy.
+func NewClock() *Clock {
+	return &Clock{ring: list.New(), items: make(map[PageID]*clockEntry)}
+}
+
+// Name implements Policy.
+func (c *Clock) Name() string { return "clock" }
+
+// SetCapacity implements Policy.
+func (c *Clock) SetCapacity(int) {}
+
+// OnAccess implements Policy: set the reference bit, move nothing.
+func (c *Clock) OnAccess(id PageID) {
+	if e, ok := c.items[id]; ok {
+		e.ref = true
+	}
+}
+
+// OnInsert implements Policy.
+func (c *Clock) OnInsert(id PageID) {
+	if e, ok := c.items[id]; ok {
+		e.ref = true
+		return
+	}
+	c.items[id] = &clockEntry{elem: c.ring.PushFront(id)}
+}
+
+// OnRemove implements Policy.
+func (c *Clock) OnRemove(id PageID) {
+	if e, ok := c.items[id]; ok {
+		c.ring.Remove(e.elem)
+		delete(c.items, id)
+	}
+}
+
+// OnMiss implements Policy.
+func (c *Clock) OnMiss(PageID) {}
+
+// Victim implements Policy: sweep the hand, clearing reference bits,
+// until an unreferenced page is found.
+func (c *Clock) Victim() (PageID, bool) {
+	for c.ring.Len() > 0 {
+		e := c.ring.Back()
+		id := e.Value.(PageID)
+		entry := c.items[id]
+		if entry.ref {
+			// Second chance: clear the bit and rotate to the front.
+			entry.ref = false
+			c.ring.MoveToFront(e)
+			continue
+		}
+		c.ring.Remove(e)
+		delete(c.items, id)
+		return id, true
+	}
+	return PageID{}, false
+}

@@ -1,0 +1,113 @@
+package cache
+
+import "container/list"
+
+// LRU evicts the least recently used page. This is the default policy
+// and the closest simple analogue of the Linux page cache the paper's
+// testbed ran on.
+type LRU struct {
+	ll    *list.List // front = MRU
+	items map[PageID]*list.Element
+}
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRU {
+	return &LRU{ll: list.New(), items: make(map[PageID]*list.Element)}
+}
+
+// Name implements Policy.
+func (l *LRU) Name() string { return "lru" }
+
+// SetCapacity implements Policy; LRU needs no capacity knowledge.
+func (l *LRU) SetCapacity(int) {}
+
+// OnAccess implements Policy.
+func (l *LRU) OnAccess(id PageID) {
+	if e, ok := l.items[id]; ok {
+		l.ll.MoveToFront(e)
+	}
+}
+
+// OnInsert implements Policy.
+func (l *LRU) OnInsert(id PageID) {
+	if e, ok := l.items[id]; ok {
+		l.ll.MoveToFront(e)
+		return
+	}
+	l.items[id] = l.ll.PushFront(id)
+}
+
+// OnRemove implements Policy.
+func (l *LRU) OnRemove(id PageID) {
+	if e, ok := l.items[id]; ok {
+		l.ll.Remove(e)
+		delete(l.items, id)
+	}
+}
+
+// OnMiss implements Policy; LRU learns nothing from misses.
+func (l *LRU) OnMiss(PageID) {}
+
+// Victim implements Policy.
+func (l *LRU) Victim() (PageID, bool) {
+	e := l.ll.Back()
+	if e == nil {
+		return PageID{}, false
+	}
+	id := e.Value.(PageID)
+	l.ll.Remove(e)
+	delete(l.items, id)
+	return id, true
+}
+
+// FIFO evicts in insertion order, ignoring recency. It is the
+// baseline that makes LRU's recency benefit measurable.
+type FIFO struct {
+	ll    *list.List
+	items map[PageID]*list.Element
+}
+
+// NewFIFO returns an empty FIFO policy.
+func NewFIFO() *FIFO {
+	return &FIFO{ll: list.New(), items: make(map[PageID]*list.Element)}
+}
+
+// Name implements Policy.
+func (f *FIFO) Name() string { return "fifo" }
+
+// SetCapacity implements Policy.
+func (f *FIFO) SetCapacity(int) {}
+
+// OnAccess implements Policy; FIFO ignores recency.
+func (f *FIFO) OnAccess(PageID) {}
+
+// OnInsert implements Policy.
+func (f *FIFO) OnInsert(id PageID) {
+	if _, ok := f.items[id]; ok {
+		return
+	}
+	f.items[id] = f.ll.PushFront(id)
+}
+
+// OnRemove implements Policy.
+func (f *FIFO) OnRemove(id PageID) {
+	if e, ok := f.items[id]; ok {
+		f.ll.Remove(e)
+		delete(f.items, id)
+	}
+}
+
+// OnMiss implements Policy.
+func (f *FIFO) OnMiss(PageID) {}
+
+// Victim implements Policy.
+func (f *FIFO) Victim() (PageID, bool) {
+	e := f.ll.Back()
+	if e == nil {
+		return PageID{}, false
+	}
+	id := e.Value.(PageID)
+	f.ll.Remove(e)
+	delete(f.items, id)
+	return id, true
+}

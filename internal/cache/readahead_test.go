@@ -1,0 +1,178 @@
+package cache
+
+import "testing"
+
+func TestNoReadahead(t *testing.T) {
+	var ra NoReadahead
+	if _, n := ra.Plan(1, 0, false, 100); n != 0 {
+		t.Fatal("NoReadahead planned a prefetch")
+	}
+}
+
+func TestFixedReadahead(t *testing.T) {
+	ra := FixedReadahead{N: 4}
+	start, n := ra.Plan(1, 10, false, 100)
+	if start != 11 || n != 4 {
+		t.Fatalf("Plan = (%d, %d), want (11, 4)", start, n)
+	}
+	// On a hit: nothing.
+	if _, n := ra.Plan(1, 10, true, 100); n != 0 {
+		t.Fatal("FixedReadahead prefetched on a hit")
+	}
+	// Near EOF: clipped.
+	start, n = ra.Plan(1, 98, false, 100)
+	if start != 99 || n != 1 {
+		t.Fatalf("Plan near EOF = (%d, %d), want (99, 1)", start, n)
+	}
+	// At EOF: nothing.
+	if _, n := ra.Plan(1, 99, false, 100); n != 0 {
+		t.Fatal("FixedReadahead prefetched past EOF")
+	}
+}
+
+func TestAdaptiveReadaheadSequentialGrowth(t *testing.T) {
+	ra := NewAdaptiveReadahead(4, 32)
+	// First access: no history, no prefetch.
+	if _, n := ra.Plan(1, 0, false, 1000); n != 0 {
+		t.Fatal("prefetch on first access")
+	}
+	// Second sequential access starts a window.
+	start, n := ra.Plan(1, 1, false, 1000)
+	if n != 4 || start != 2 {
+		t.Fatalf("initial window = (%d, %d), want (2, 4)", start, n)
+	}
+	// Keep reading sequentially; the window must grow.
+	var maxWindow int64
+	for i := int64(2); i < 200; i++ {
+		_, n := ra.Plan(1, i, true, 1000)
+		if n > maxWindow {
+			maxWindow = n
+		}
+	}
+	if maxWindow < 16 {
+		t.Errorf("window never grew past %d pages, want >= 16", maxWindow)
+	}
+	if maxWindow > 32 {
+		t.Errorf("window %d exceeded max 32", maxWindow)
+	}
+}
+
+func TestAdaptiveReadaheadRandomCollapses(t *testing.T) {
+	ra := NewAdaptiveReadahead(4, 32)
+	ra.Plan(1, 0, false, 1000)
+	ra.Plan(1, 1, false, 1000) // window open
+	// A random jump must collapse the window.
+	if _, n := ra.Plan(1, 500, false, 1000); n != 0 {
+		t.Fatal("adaptive readahead prefetched on random jump")
+	}
+	// And the next access is again treated as the start of history.
+	if _, n := ra.Plan(1, 700, false, 1000); n != 0 {
+		t.Fatal("adaptive readahead prefetched on second random jump")
+	}
+	// Pure random streams must cause (almost) no prefetch at all —
+	// this is what keeps Figure 2's warm-up device-bound.
+	total := int64(0)
+	for i := 0; i < 1000; i++ {
+		_, n := ra.Plan(1, int64(i*7919%100000), false, 100000)
+		total += n
+	}
+	if total > 100 {
+		t.Errorf("random stream triggered %d prefetched pages, want ~0", total)
+	}
+}
+
+func TestAdaptiveReadaheadPerFileState(t *testing.T) {
+	ra := NewAdaptiveReadahead(4, 32)
+	ra.Plan(1, 0, false, 1000)
+	ra.Plan(2, 50, false, 1000)
+	// File 1 continues sequentially: must open a window even though
+	// file 2 interleaved.
+	if _, n := ra.Plan(1, 1, false, 1000); n == 0 {
+		t.Fatal("interleaved file broke per-file sequential detection")
+	}
+	ra.Forget(1)
+	if _, n := ra.Plan(1, 2, false, 1000); n != 0 {
+		t.Fatal("Forget did not clear per-file state")
+	}
+}
+
+func TestNewReadaheadByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"":         "none",
+		"none":     "none",
+		"fixed":    "fixed",
+		"adaptive": "adaptive",
+		"bogus":    "none",
+	} {
+		if got := NewReadahead(name).Name(); got != want {
+			t.Errorf("NewReadahead(%q).Name() = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestHierarchySingleLevel(t *testing.T) {
+	h := NewHierarchy(New(2, NewLRU()), nil)
+	if lvl := h.Lookup(page(1, 0)); lvl != Miss {
+		t.Fatalf("Lookup = %v, want Miss", lvl)
+	}
+	h.Insert(page(1, 0), false)
+	if lvl := h.Lookup(page(1, 0)); lvl != L1Hit {
+		t.Fatalf("Lookup = %v, want L1Hit", lvl)
+	}
+}
+
+func TestHierarchyDemotionAndPromotion(t *testing.T) {
+	l1 := New(2, NewLRU())
+	l2 := New(4, NewLRU())
+	h := NewHierarchy(l1, l2)
+	// Fill L1 and push one page out: it must land in L2.
+	h.Insert(page(1, 0), false)
+	h.Insert(page(1, 1), false)
+	h.Insert(page(1, 2), false) // evicts 1:0 into L2
+	if !l2.Contains(page(1, 0)) {
+		t.Fatal("clean L1 victim not demoted to L2")
+	}
+	// Accessing it is an L2 hit and promotes it back.
+	if lvl := h.Lookup(page(1, 0)); lvl != L2Hit {
+		t.Fatalf("Lookup = %v, want L2Hit", lvl)
+	}
+	if !l1.Contains(page(1, 0)) {
+		t.Fatal("L2 hit did not promote to L1")
+	}
+	if l2.Contains(page(1, 0)) {
+		t.Fatal("promoted page still resident in L2 (double residency)")
+	}
+}
+
+func TestHierarchyDirtyVictimsReturned(t *testing.T) {
+	l1 := New(1, NewLRU())
+	l2 := New(4, NewLRU())
+	h := NewHierarchy(l1, l2)
+	h.Insert(page(1, 0), true)
+	dirty := h.Insert(page(1, 1), false) // evicts dirty 1:0
+	if len(dirty) != 1 || !dirty[0].Dirty || dirty[0].ID != page(1, 0) {
+		t.Fatalf("dirty victims = %+v, want dirty 1:0", dirty)
+	}
+	if l2.Contains(page(1, 0)) {
+		t.Fatal("dirty page demoted to L2; dirty data must stay in L1 or be written back")
+	}
+}
+
+func TestHierarchyInvalidate(t *testing.T) {
+	l1 := New(1, NewLRU())
+	l2 := New(4, NewLRU())
+	h := NewHierarchy(l1, l2)
+	h.Insert(page(1, 0), false)
+	h.Insert(page(1, 1), false) // demotes 1:0 to L2
+	h.Invalidate(page(1, 0))
+	h.Invalidate(page(1, 1))
+	if h.Contains(page(1, 0)) || h.Contains(page(1, 1)) {
+		t.Fatal("Invalidate left residue in some tier")
+	}
+	h.Insert(page(2, 0), false)
+	h.Insert(page(2, 1), false)
+	h.InvalidateFile(2)
+	if h.Contains(page(2, 0)) || h.Contains(page(2, 1)) {
+		t.Fatal("InvalidateFile left residue")
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Verdict is the outcome of a statistically gated comparison.
+type Verdict int
+
+// Comparison outcomes.
+const (
+	// Indistinguishable: the difference is not significant; claiming
+	// a winner would be the single-number mindset the paper derides.
+	Indistinguishable Verdict = iota
+	// AWins and BWins: significant at the configured level AND both
+	// samples were well-formed (stationary, unimodal is not required
+	// for throughput, but high variance weakens the claim).
+	AWins
+	BWins
+	// Unreliable: one or both results carry flags that make the
+	// comparison meaningless regardless of p-values.
+	Unreliable
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case AWins:
+		return "A faster"
+	case BWins:
+		return "B faster"
+	case Unreliable:
+		return "unreliable (flagged data)"
+	default:
+		return "indistinguishable"
+	}
+}
+
+// Comparison is the full two-system report.
+type Comparison struct {
+	A, B    *Result
+	Welch   stats.WelchResult
+	MannP   float64 // Mann-Whitney two-sided p
+	Alpha   float64
+	Verdict Verdict
+	// SpeedupAB is mean(A)/mean(B) regardless of significance —
+	// reported so readers can see effect size next to the verdict.
+	SpeedupAB float64
+}
+
+// Compare runs the significance-gated comparison at level alpha
+// (e.g. 0.05). Both tests must agree for a winner to be declared:
+// Welch for means, Mann-Whitney as the distribution-free check on
+// the skewed samples disks produce.
+func Compare(a, b *Result, alpha float64) Comparison {
+	cmp := Comparison{A: a, B: b, Alpha: alpha}
+	as, bs := a.Throughputs(), b.Throughputs()
+	cmp.Welch = stats.WelchTTest(as, bs)
+	cmp.MannP = stats.MannWhitneyU(as, bs)
+	if mb := stats.Mean(bs); mb != 0 {
+		cmp.SpeedupAB = stats.Mean(as) / mb
+	}
+	// Non-stationary data invalidates steady-state comparison: the
+	// answer depends on *when* you measured (Figure 2's lesson).
+	if a.Flags.NonStationary || b.Flags.NonStationary {
+		cmp.Verdict = Unreliable
+		return cmp
+	}
+	if cmp.Welch.P < alpha && cmp.MannP < alpha {
+		if cmp.Welch.T > 0 {
+			cmp.Verdict = AWins
+		} else {
+			cmp.Verdict = BWins
+		}
+	}
+	return cmp
+}
+
+// String renders a one-line comparison summary.
+func (c Comparison) String() string {
+	return fmt.Sprintf("%s vs %s: %s (speedup %.2fx, welch p=%.3g, mann-whitney p=%.3g)",
+		c.A.Experiment.Name, c.B.Experiment.Name, c.Verdict, c.SpeedupAB, c.Welch.P, c.MannP)
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/device"
+	"repro/internal/fs"
+	"repro/internal/fs/ext2sim"
+	"repro/internal/fs/ext3sim"
+	"repro/internal/fs/xfssim"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// StackConfig describes a complete system under test. Build
+// instantiates it fresh for every run — the paper's experiments
+// remount between runs, and so do we.
+type StackConfig struct {
+	// FS selects the file-system model: "ext2", "ext3", "xfs".
+	FS string
+	// Ext3Mode selects the journaling mode when FS == "ext3".
+	Ext3Mode ext3sim.Mode
+	// Device selects the device model: "hdd" (default), "ssd",
+	// "ramdisk".
+	Device string
+	// DiskBytes sizes the device (default 64 GB — large enough for
+	// the 25 GB file of Figure 3(c)).
+	DiskBytes int64
+
+	// RAMBytes is total memory; the page cache gets what the OS does
+	// not take. The paper's testbed: 512 MB.
+	RAMBytes int64
+	// OSReserveBytes is the mean memory the OS consumes outside the
+	// page cache.
+	OSReserveBytes int64
+	// OSReserveJitter is the per-run standard deviation of the OS
+	// reserve — §3.1's "difficult to control the availability of just
+	// a few megabytes from one benchmark run to another". Set 0 for
+	// the (unrealistic) perfectly reproducible machine.
+	OSReserveJitter int64
+
+	// CachePolicy names the eviction policy ("lru" default; "fifo",
+	// "clock", "random", "2q", "arc").
+	CachePolicy string
+	// Readahead overrides the FS-preferred readahead policy: "",
+	// "none", "fixed", "adaptive".
+	Readahead string
+	// L2Bytes adds a flash second cache tier of this size (0 = none).
+	L2Bytes int64
+
+	// CPUNoiseFrac is the per-run relative variation of software
+	// (CPU-bound) costs: background host activity makes even fully
+	// cached runs differ by a percent or two, which is why the
+	// paper's memory-bound region still shows nonzero relative
+	// standard deviation.
+	CPUNoiseFrac float64
+
+	// VFS tunes software costs; zero value means vfs.DefaultConfig.
+	VFS *vfs.Config
+}
+
+// PaperStack returns the configuration of the paper's testbed: ext2
+// on the Maxtor SATA disk with 512 MB of RAM (about 100 MB of it
+// taken by the OS, ±2 MB run-to-run).
+func PaperStack() StackConfig {
+	return StackConfig{
+		FS:              "ext2",
+		Device:          "hdd",
+		DiskBytes:       64 << 30,
+		RAMBytes:        512 << 20,
+		OSReserveBytes:  102 << 20,
+		OSReserveJitter: 2 << 20,
+		CachePolicy:     "lru",
+		CPUNoiseFrac:    0.008,
+	}
+}
+
+// CacheBytesMean reports the expected page-cache size (RAM minus mean
+// OS reserve).
+func (c StackConfig) CacheBytesMean() int64 {
+	b := c.RAMBytes - c.OSReserveBytes
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// Build instantiates the stack. The rng seeds the device noise, the
+// OS-reserve draw, and the cache policy's randomness; pass a
+// different rng per run.
+func (c StackConfig) Build(rng *sim.RNG) (*vfs.Mount, error) {
+	diskBytes := c.DiskBytes
+	if diskBytes <= 0 {
+		diskBytes = 64 << 30
+	}
+
+	var dev device.Device
+	switch c.Device {
+	case "", "hdd":
+		cfg := device.DefaultHDD()
+		cfg.CapacityBytes = diskBytes
+		dev = device.NewHDD(cfg, rng.Split())
+	case "ssd":
+		cfg := device.DefaultSSD()
+		cfg.CapacityBytes = diskBytes
+		dev = device.NewSSD(cfg, rng.Split())
+	case "ramdisk":
+		dev = device.NewRAMDisk(diskBytes)
+	default:
+		return nil, fmt.Errorf("core: unknown device %q", c.Device)
+	}
+
+	blocks := diskBytes / fs.BlockSize
+	var fsys fs.FileSystem
+	var err error
+	switch c.FS {
+	case "", "ext2":
+		fsys, err = ext2sim.New(blocks)
+	case "ext3":
+		fsys, err = ext3sim.New(blocks, c.Ext3Mode)
+	case "xfs":
+		fsys, err = xfssim.New(blocks, 4)
+	default:
+		return nil, fmt.Errorf("core: unknown file system %q", c.FS)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Draw this run's available page-cache size.
+	ram := c.RAMBytes
+	if ram <= 0 {
+		ram = 512 << 20
+	}
+	reserve := float64(c.OSReserveBytes)
+	if c.OSReserveJitter > 0 {
+		reserve = rng.NormalClamped(float64(c.OSReserveBytes), float64(c.OSReserveJitter),
+			0, float64(ram))
+	}
+	cacheBytes := ram - int64(reserve)
+	if cacheBytes < 0 {
+		cacheBytes = 0
+	}
+	pol, err := cache.NewPolicy(c.CachePolicy, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	l1 := cache.New(int(cacheBytes/cache.PageSize), pol)
+	var l2 *cache.Cache
+	if c.L2Bytes > 0 {
+		l2pol, err := cache.NewPolicy(c.CachePolicy, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		l2 = cache.New(int(c.L2Bytes/cache.PageSize), l2pol)
+	}
+
+	vcfg := vfs.DefaultConfig()
+	if c.VFS != nil {
+		vcfg = *c.VFS
+	}
+	if c.Readahead != "" {
+		vcfg.Readahead = cache.NewReadahead(c.Readahead)
+	}
+	return vfs.New(fsys, dev, cache.NewHierarchy(l1, l2), vcfg), nil
+}
+
+// String summarizes the configuration for reports.
+func (c StackConfig) String() string {
+	dev := c.Device
+	if dev == "" {
+		dev = "hdd"
+	}
+	fsName := c.FS
+	if fsName == "" {
+		fsName = "ext2"
+	}
+	return fmt.Sprintf("%s/%s ram=%dMB reserve=%d±%dMB policy=%s",
+		fsName, dev, c.RAMBytes>>20, c.OSReserveBytes>>20, c.OSReserveJitter>>20,
+		orDefault(c.CachePolicy, "lru"))
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

@@ -1,0 +1,169 @@
+// Package core is the paper's contribution turned into a library: a
+// dimension-aware, statistically rigorous file-system benchmarking
+// harness.
+//
+// The pieces map to the paper's argument:
+//
+//   - Dimension and ClassifyWorkload implement §2's taxonomy (I/O,
+//     on-disk, caching, meta-data, scaling) and answer "what does this
+//     benchmark actually measure?" for any workload.
+//   - StackConfig builds reproducible systems under test, including
+//     the per-run cache-availability jitter that §3.1 identifies as
+//     the source of benchmark fragility.
+//   - Experiment and Runner implement the multi-run protocol: N runs
+//     with distinct seeds, a warm-up policy, a measurement window,
+//     and a Result that refuses to stand behind a single number when
+//     the data is non-stationary or bimodal.
+//   - Sweep and FragilityReport implement Figure 1's methodology:
+//     sweep a parameter, find the transition region, report where the
+//     benchmark is fragile.
+//   - Compare implements "A vs B" with significance gates instead of
+//     bar-chart optimism.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Dimension is one axis of file-system behavior from the paper's §2.
+type Dimension int
+
+// The five dimensions of Table 1.
+const (
+	// DimIO measures the raw device: bandwidth/latency vs request
+	// size (IOmeter's job).
+	DimIO Dimension = iota
+	// DimOnDisk measures on-disk layout efficacy: cold-cache reads
+	// and writes as a function of file size and aging.
+	DimOnDisk
+	// DimCaching measures cache and prefetch efficacy: warm-up
+	// curves, eviction behavior, working sets vs memory.
+	DimCaching
+	// DimMetaData measures meta-data operation performance: create,
+	// delete, stat, directory scans.
+	DimMetaData
+	// DimScaling measures behavior under increasing load: threads,
+	// file counts, dataset growth.
+	DimScaling
+)
+
+var dimNames = [...]string{"io", "on-disk", "caching", "meta-data", "scaling"}
+
+// String names the dimension as in Table 1.
+func (d Dimension) String() string {
+	if d < 0 || int(d) >= len(dimNames) {
+		return fmt.Sprintf("dim(%d)", int(d))
+	}
+	return dimNames[d]
+}
+
+// AllDimensions lists the five dimensions.
+func AllDimensions() []Dimension {
+	return []Dimension{DimIO, DimOnDisk, DimCaching, DimMetaData, DimScaling}
+}
+
+// Coverage describes how strongly a workload exercises a dimension.
+type Coverage int
+
+// Coverage levels, matching Table 1's legend: "•" = isolates the
+// dimension, "◦" = touches it without isolating it.
+const (
+	NotCovered Coverage = iota
+	Touches             // ◦
+	Isolates            // •
+)
+
+// String renders the Table 1 marker.
+func (c Coverage) String() string {
+	switch c {
+	case Touches:
+		return "◦"
+	case Isolates:
+		return "•"
+	default:
+		return " "
+	}
+}
+
+// ClassifyWorkload reports, per dimension, how strongly the workload
+// exercises it given the cache capacity of the stack it will run on.
+// This is the mechanical answer to the paper's complaint that
+// researchers run benchmarks without knowing what they measure: a
+// kernel-compile-style CPU-bound mix classifies as touching
+// everything and isolating nothing.
+func ClassifyWorkload(w *workload.Workload, cacheBytes int64) map[Dimension]Coverage {
+	cov := map[Dimension]Coverage{}
+	touch := func(d Dimension) {
+		if cov[d] < Touches {
+			cov[d] = Touches
+		}
+	}
+	isolate := func(d Dimension) {
+		cov[d] = Isolates
+	}
+
+	var dataBytes int64
+	for _, fsSet := range w.FileSets {
+		dataBytes += int64(float64(fsSet.Entries) * fsSet.PreallocFrac * float64(fsSet.MeanSize))
+	}
+	kinds := map[workload.OpKind]int{}
+	total := 0
+	for _, th := range w.Threads {
+		for _, op := range th.Flowops {
+			iters := op.Iters
+			if iters <= 0 {
+				iters = 1
+			}
+			kinds[op.Kind] += iters * th.Count
+			total += iters * th.Count
+		}
+	}
+	metaOps := kinds[workload.OpCreate] + kinds[workload.OpDelete] + kinds[workload.OpStat] +
+		kinds[workload.OpMkdir] + kinds[workload.OpReadDir]
+	dataOps := kinds[workload.OpReadRand] + kinds[workload.OpReadSeq] + kinds[workload.OpReadWholeFile] +
+		kinds[workload.OpWriteRand] + kinds[workload.OpWriteSeq] + kinds[workload.OpAppend]
+
+	if dataOps > 0 {
+		// Working set vs cache decides which dimension data ops hit.
+		switch {
+		case cacheBytes > 0 && dataBytes > 2*cacheBytes:
+			// Mostly misses: the disk and layout dominate.
+			if metaOps == 0 {
+				isolate(DimOnDisk)
+			} else {
+				touch(DimOnDisk)
+			}
+			touch(DimIO)
+			touch(DimCaching)
+		case cacheBytes > 0 && dataBytes*2 < cacheBytes:
+			// Fits easily: an in-memory / caching benchmark whether
+			// the author intended it or not.
+			if metaOps == 0 {
+				isolate(DimCaching)
+			} else {
+				touch(DimCaching)
+			}
+		default:
+			// The fragile middle: it measures the cache boundary.
+			touch(DimOnDisk)
+			touch(DimCaching)
+			touch(DimIO)
+		}
+	}
+	if metaOps > 0 {
+		if dataOps == 0 || metaOps > 3*dataOps {
+			isolate(DimMetaData)
+		} else {
+			touch(DimMetaData)
+		}
+	}
+	if w.TotalThreads() > 1 {
+		touch(DimScaling)
+		if w.TotalThreads() >= 8 {
+			isolate(DimScaling)
+		}
+	}
+	return cov
+}

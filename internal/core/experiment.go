@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Experiment is one measured configuration: a workload on a stack,
+// run Runs times with distinct seeds.
+type Experiment struct {
+	Name     string
+	Stack    StackConfig
+	Workload *workload.Workload
+	// Runs is the number of independent runs (the paper uses 10).
+	Runs int
+	// Duration is each run's measured length in virtual time.
+	Duration sim.Time
+	// MeasureWindow is the tail portion whose throughput is reported
+	// (the paper reports "only the last minute" of 20-minute runs).
+	// 0 means the whole run.
+	MeasureWindow sim.Time
+	// ColdCache drops caches after setup so each run starts cold.
+	ColdCache bool
+	// Seed derives per-run seeds (seed+run).
+	Seed uint64
+	// SeriesInterval enables a throughput time series with the given
+	// bucket (0 = 10s, the paper's Figure 2 interval).
+	SeriesInterval sim.Time
+	// TimelineInterval enables per-interval latency histograms
+	// (Figure 4); 0 disables.
+	TimelineInterval sim.Time
+	// Kinds restricts measurement to these op kinds (nil = all).
+	Kinds []workload.OpKind
+}
+
+// RunMeasure is one run's outcome.
+type RunMeasure struct {
+	Seed       uint64
+	Ops        int64   // ops completing inside the measurement window
+	Throughput float64 // ops/sec over the measurement window
+	CacheBytes int64   // the cache size this run actually drew
+	HitRatio   float64
+	Hist       *metrics.Histogram
+	Series     *metrics.TimeSeries
+	Timeline   *metrics.HistogramTimeline
+	Errors     int64
+}
+
+// Flags are the harness's refusals: conditions under which a single
+// number misrepresents the data.
+type Flags struct {
+	// Bimodal: the latency distribution has 2+ modes (Figure 3b) —
+	// report the histogram, not the mean.
+	Bimodal bool
+	// NonStationary: throughput never settled (Figure 2's transition)
+	// — report the curve, not a steady-state number.
+	NonStationary bool
+	// HighVariance: relative standard deviation across runs exceeds
+	// 10% — single-run results would be meaningless.
+	HighVariance bool
+}
+
+// Any reports whether any flag is raised.
+func (f Flags) Any() bool { return f.Bimodal || f.NonStationary || f.HighVariance }
+
+// String lists raised flags.
+func (f Flags) String() string {
+	s := ""
+	if f.Bimodal {
+		s += " bimodal"
+	}
+	if f.NonStationary {
+		s += " non-stationary"
+	}
+	if f.HighVariance {
+		s += " high-variance"
+	}
+	if s == "" {
+		return "ok"
+	}
+	return s[1:]
+}
+
+// Result aggregates an experiment's runs.
+type Result struct {
+	Experiment *Experiment
+	PerRun     []RunMeasure
+	// Throughput summarizes ops/sec across runs with CIs.
+	Throughput stats.Summary
+	// Hist is the merged latency histogram across runs.
+	Hist *metrics.Histogram
+	// Flags carries the harness's refusals.
+	Flags Flags
+}
+
+// Throughputs returns the per-run throughput sample (for significance
+// tests).
+func (r *Result) Throughputs() []float64 {
+	out := make([]float64, len(r.PerRun))
+	for i, m := range r.PerRun {
+		out[i] = m.Throughput
+	}
+	return out
+}
+
+// Run executes the experiment.
+func (e *Experiment) Run() (*Result, error) {
+	if e.Runs <= 0 {
+		e.Runs = 1
+	}
+	if e.Duration <= 0 {
+		return nil, fmt.Errorf("core: experiment %q without duration", e.Name)
+	}
+	if err := e.Workload.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Experiment: e, Hist: &metrics.Histogram{}}
+	for run := 0; run < e.Runs; run++ {
+		m, err := e.runOnce(e.Seed + uint64(run))
+		if err != nil {
+			return nil, fmt.Errorf("core: experiment %q run %d: %w", e.Name, run, err)
+		}
+		res.PerRun = append(res.PerRun, m)
+		res.Hist.Merge(m.Hist)
+	}
+	res.Throughput = stats.Summarize(res.Throughputs())
+	res.Flags = e.flags(res)
+	return res, nil
+}
+
+func (e *Experiment) kindSet() map[workload.OpKind]bool {
+	if len(e.Kinds) == 0 {
+		return nil
+	}
+	set := map[workload.OpKind]bool{}
+	for _, k := range e.Kinds {
+		set[k] = true
+	}
+	return set
+}
+
+// runOnce builds a fresh stack, sets up the workload, and measures
+// one run.
+func (e *Experiment) runOnce(seed uint64) (RunMeasure, error) {
+	rng := sim.NewRNG(seed)
+	mount, err := e.Stack.Build(rng)
+	if err != nil {
+		return RunMeasure{}, err
+	}
+	// Per-run CPU noise: scale the tool's per-op overhead, modeling
+	// run-to-run host variation even for fully cached workloads.
+	w := e.Workload
+	if noise := e.Stack.CPUNoiseFrac; noise > 0 {
+		factor := rng.NormalClamped(1, noise, 0.5, 1.5)
+		w2 := *w
+		w2.Threads = append([]workload.ThreadSpec(nil), w.Threads...)
+		for i := range w2.Threads {
+			w2.Threads[i].PerOpOverhead = sim.Time(float64(w2.Threads[i].PerOpOverhead) * factor)
+		}
+		w = &w2
+	}
+	eng, err := workload.NewEngine(mount, w, rng.Uint64())
+	if err != nil {
+		return RunMeasure{}, err
+	}
+	start, err := eng.Setup(0)
+	if err != nil {
+		return RunMeasure{}, err
+	}
+	if e.ColdCache {
+		eng.DropCaches()
+	}
+	mount.ResetStats()
+
+	seriesInterval := e.SeriesInterval
+	if seriesInterval <= 0 {
+		seriesInterval = 10 * sim.Second
+	}
+	m := RunMeasure{
+		Seed:       seed,
+		CacheBytes: int64(mount.PC.L1.Capacity()) * 4096,
+		Hist:       &metrics.Histogram{},
+		Series:     metrics.NewTimeSeriesOffset(seriesInterval, start),
+	}
+	probe := &workload.Probe{
+		Series: m.Series,
+		Hist:   m.Hist,
+		Kinds:  e.kindSet(),
+	}
+	window := e.MeasureWindow
+	if window <= 0 || window > e.Duration {
+		window = e.Duration
+	}
+	probe.HistSince = start + e.Duration - window
+	if e.TimelineInterval > 0 {
+		m.Timeline = metrics.NewHistogramTimelineOffset(e.TimelineInterval, start)
+		probe.Timeline = m.Timeline
+	}
+	eng.SetProbe(probe)
+	if _, err := eng.Run(start, start+e.Duration); err != nil {
+		return RunMeasure{}, err
+	}
+
+	// Throughput over the measurement window: count series buckets in
+	// the tail.
+	m.Ops = countOpsSince(m.Series, e.Duration-window)
+	m.Throughput = float64(m.Ops) / window.Seconds()
+	m.HitRatio = mount.PC.L1.Stats().HitRatio()
+	m.Errors = eng.Counter().Errors
+	return m, nil
+}
+
+// countOpsSince sums series events at or after the offset.
+func countOpsSince(ts *metrics.TimeSeries, since sim.Time) int64 {
+	firstBucket := int(since / ts.Interval())
+	var n int64
+	for i := firstBucket; i < ts.Buckets(); i++ {
+		n += ts.Count(i)
+	}
+	return n
+}
+
+// flags inspects the aggregate for the three refusal conditions.
+func (e *Experiment) flags(res *Result) Flags {
+	var f Flags
+	if len(res.Hist.Modes(0.05)) >= 2 {
+		f.Bimodal = true
+	}
+	if res.Throughput.RSD > 0.10 {
+		f.HighVariance = true
+	}
+	// Stationarity: look at the first run's full throughput curve.
+	if len(res.PerRun) > 0 && res.PerRun[0].Series != nil {
+		rates := res.PerRun[0].Series.Rates()
+		if len(rates) >= 10 {
+			if _, ok := stats.StationaryTail(rates); !ok {
+				f.NonStationary = true
+			}
+		}
+	}
+	return f
+}

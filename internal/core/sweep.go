@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Sweep runs an experiment at each value of a swept parameter — file
+// size in Figure 1, but any knob works: thread count, cache size,
+// I/O size.
+type Sweep struct {
+	Name string
+	// Base is the experiment template; Mutate specializes it per
+	// point.
+	Base Experiment
+	// Values are the X coordinates.
+	Values []float64
+	// Mutate adapts the template for value x (e.g. sets the fileset
+	// size). It must return a complete experiment.
+	Mutate func(base Experiment, x float64) Experiment
+}
+
+// SweepPoint is one X's aggregate.
+type SweepPoint struct {
+	X      float64
+	Result *Result
+}
+
+// SweepResult is the full curve plus the fragility analysis.
+type SweepResult struct {
+	Name   string
+	Points []SweepPoint
+}
+
+// Run executes the sweep.
+func (s *Sweep) Run() (*SweepResult, error) {
+	if s.Mutate == nil {
+		return nil, fmt.Errorf("core: sweep %q without Mutate", s.Name)
+	}
+	out := &SweepResult{Name: s.Name}
+	for _, x := range s.Values {
+		exp := s.Mutate(s.Base, x)
+		res, err := exp.Run()
+		if err != nil {
+			return nil, fmt.Errorf("sweep %q at %v: %w", s.Name, x, err)
+		}
+		out.Points = append(out.Points, SweepPoint{X: x, Result: res})
+	}
+	return out, nil
+}
+
+// Summaries extracts the per-point throughput summaries.
+func (r *SweepResult) Summaries() []stats.Summary {
+	out := make([]stats.Summary, len(r.Points))
+	for i, p := range r.Points {
+		out[i] = p.Result.Throughput
+	}
+	return out
+}
+
+// FragilityReport is the Figure 1 analysis: where along the sweep the
+// benchmark's result is fragile, and how violently the metric moves
+// across the transition.
+type FragilityReport struct {
+	// Found reports whether any fragile region exists.
+	Found bool
+	// LoX and HiX bound the fragile region in sweep coordinates.
+	LoX, HiX float64
+	// MaxAdjacentRatio is the largest jump between neighboring
+	// points (the paper's "order of magnitude within 64 MB").
+	MaxAdjacentRatio float64
+	// FragileRSD is the threshold used.
+	FragileRSD float64
+}
+
+// String renders the verdict.
+func (f FragilityReport) String() string {
+	if !f.Found {
+		return "no fragile region (all points below RSD threshold)"
+	}
+	return fmt.Sprintf("fragile region x∈[%g, %g], max adjacent-point ratio %.1fx",
+		f.LoX, f.HiX, f.MaxAdjacentRatio)
+}
+
+// Fragility locates the transition region with the given RSD
+// threshold (fraction, e.g. 0.15).
+func (r *SweepResult) Fragility(fragileRSD float64) FragilityReport {
+	lo, hi, ratio, found := stats.TransitionRegion(r.Summaries(), fragileRSD)
+	rep := FragilityReport{Found: found, MaxAdjacentRatio: ratio, FragileRSD: fragileRSD}
+	if found {
+		rep.LoX = r.Points[lo].X
+		rep.HiX = r.Points[hi].X
+	}
+	return rep
+}
+
+// FileSizeSweep builds the Figure 1 sweep: the paper's random-read
+// workload at each file size, on the given stack.
+func FileSizeSweep(stack StackConfig, sizes []int64, runs int, duration, window sim.Time, seed uint64) *Sweep {
+	values := make([]float64, len(sizes))
+	for i, s := range sizes {
+		values[i] = float64(s)
+	}
+	return &Sweep{
+		Name: "filesize-randomread",
+		Base: Experiment{
+			Stack:         stack,
+			Runs:          runs,
+			Duration:      duration,
+			MeasureWindow: window,
+			Seed:          seed,
+			Kinds:         []workload.OpKind{workload.OpReadRand},
+		},
+		Values: values,
+		Mutate: func(base Experiment, x float64) Experiment {
+			size := int64(x)
+			base.Name = fmt.Sprintf("randomread-%dMB", size>>20)
+			base.Workload = workload.RandomRead(size, 2<<10, 1)
+			// Decorrelate runs across sweep points: each point is a
+			// fresh set of machine states, as remounting between
+			// configurations would be on real hardware.
+			base.Seed += uint64(size >> 20 * 7919)
+			return base
+		},
+	}
+}

@@ -1,0 +1,141 @@
+// Package device models block devices under virtual time.
+//
+// A Device executes sector-addressed reads and writes and reports when
+// each finishes. Latency comes from a per-device service model (disk
+// mechanics for the HDD, flash timings for the SSD, a memory bus for
+// the RAM disk); contention comes from FCFS serialization on the
+// device: a request submitted while the device is busy waits. Batch
+// submission with LBA sorting (the elevator used by the page-cache
+// write-back flusher) is provided by SubmitBatch.
+//
+// All devices are deterministic given the RNG they were built with.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// SectorSize is the size in bytes of one addressable sector. All
+// devices in this package use 512-byte sectors, like the SATA disk in
+// the paper's testbed.
+const SectorSize = 512
+
+// Op distinguishes reads from writes.
+type Op uint8
+
+// Device operations.
+const (
+	Read Op = iota
+	Write
+)
+
+// String returns "read" or "write".
+func (o Op) String() string {
+	if o == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// ErrIO is returned for injected media errors.
+var ErrIO = errors.New("device: I/O error")
+
+// ErrOutOfRange is returned when a request falls outside the device.
+var ErrOutOfRange = errors.New("device: request out of range")
+
+// Request is a single sector-range transfer.
+type Request struct {
+	Op      Op
+	LBA     int64 // first sector
+	Sectors int64 // number of sectors, > 0
+}
+
+// Device is a block device under virtual time.
+//
+// Submit presents a request at virtual time at; the request begins
+// service once the device is idle and the returned time is its
+// completion. Implementations serialize requests FCFS, so done also
+// includes queueing delay.
+type Device interface {
+	// Submit executes one request. It returns the completion time.
+	Submit(at sim.Time, req Request) (done sim.Time, err error)
+	// Sectors reports the device capacity in sectors.
+	Sectors() int64
+	// Name identifies the device model for reports.
+	Name() string
+	// Stats returns a snapshot of accumulated counters.
+	Stats() Stats
+	// ResetStats zeroes the counters (between benchmark phases).
+	ResetStats()
+}
+
+// Stats are accumulated per-device counters. BusyTime over elapsed
+// time gives utilization; SeekSectors over Seeks gives mean seek
+// distance — the on-disk-layout dimension made visible.
+type Stats struct {
+	Reads        int64
+	Writes       int64
+	SectorsRead  int64
+	SectorsWrite int64
+	BusyTime     sim.Time
+	QueueWait    sim.Time
+	Seeks        int64 // repositionings (HDD only)
+	SeekSectors  int64 // total seek distance in sectors
+	Errors       int64
+}
+
+// Bytes reports total bytes transferred.
+func (s Stats) Bytes() int64 {
+	return (s.SectorsRead + s.SectorsWrite) * SectorSize
+}
+
+// String summarizes the counters in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d bytes=%d busy=%v qwait=%v seeks=%d",
+		s.Reads, s.Writes, s.Bytes(), s.BusyTime, s.QueueWait, s.Seeks)
+}
+
+// validate checks a request against the device size.
+func validate(req Request, sectors int64) error {
+	if req.Sectors <= 0 {
+		return fmt.Errorf("%w: non-positive length %d", ErrOutOfRange, req.Sectors)
+	}
+	if req.LBA < 0 || req.LBA+req.Sectors > sectors {
+		return fmt.Errorf("%w: [%d,+%d) outside device of %d sectors",
+			ErrOutOfRange, req.LBA, req.Sectors, sectors)
+	}
+	return nil
+}
+
+// SubmitBatch submits a set of requests as one elevator pass: requests
+// are serviced in ascending LBA order (C-LOOK), which is how the
+// write-back flusher issues dirty pages. It returns the completion
+// time of the last request. The requests slice is reordered in place.
+func SubmitBatch(d Device, at sim.Time, reqs []Request) (done sim.Time, err error) {
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].LBA < reqs[j].LBA })
+	done = at
+	for _, r := range reqs {
+		done, err = d.Submit(at, r)
+		if err != nil {
+			return done, err
+		}
+	}
+	return done, nil
+}
+
+// SubmitBatchFCFS submits the requests in the order given, for
+// comparison against the elevator in ablation benchmarks.
+func SubmitBatchFCFS(d Device, at sim.Time, reqs []Request) (done sim.Time, err error) {
+	done = at
+	for _, r := range reqs {
+		done, err = d.Submit(at, r)
+		if err != nil {
+			return done, err
+		}
+	}
+	return done, nil
+}

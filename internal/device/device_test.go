@@ -1,0 +1,388 @@
+package device
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func newTestHDD() *HDD {
+	return NewHDD(DefaultHDD(), sim.NewRNG(1))
+}
+
+func TestHDDSequentialFasterThanRandom(t *testing.T) {
+	h := newTestHDD()
+	// Sequential stream: each request starts where the last ended.
+	var at sim.Time
+	var lba int64
+	for i := 0; i < 100; i++ {
+		done, err := h.Submit(at, Request{Read, lba, 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = done
+		lba += 8
+	}
+	seqTime := at
+
+	h2 := NewHDD(DefaultHDD(), sim.NewRNG(2))
+	rng := sim.NewRNG(3)
+	at = 0
+	for i := 0; i < 100; i++ {
+		done, err := h2.Submit(at, Request{Read, rng.Int63n(h2.Sectors() - 8), 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = done
+	}
+	randTime := at
+	if randTime < 10*seqTime {
+		t.Errorf("random reads (%v) not ≫ sequential reads (%v)", randTime, seqTime)
+	}
+}
+
+func TestHDDSequentialSkipsSeek(t *testing.T) {
+	h := newTestHDD()
+	if _, err := h.Submit(0, Request{Read, 0, 8}); err != nil {
+		t.Fatal(err)
+	}
+	seeks := h.Stats().Seeks
+	if _, err := h.Submit(sim.Second, Request{Read, 8, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stats().Seeks != seeks {
+		t.Error("sequential follow-on request counted as a seek")
+	}
+	if _, err := h.Submit(2*sim.Second, Request{Read, 1 << 20, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stats().Seeks != seeks+1 {
+		t.Error("distant request did not count as a seek")
+	}
+}
+
+func TestHDDQueueing(t *testing.T) {
+	h := newTestHDD()
+	done1, err := h.Submit(0, Request{Read, 1 << 24, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A request arriving while the first is in service must wait.
+	done2, err := h.Submit(0, Request{Read, 1 << 25, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done2 <= done1 {
+		t.Errorf("second request finished (%v) before first (%v)", done2, done1)
+	}
+	if h.Stats().QueueWait == 0 {
+		t.Error("no queue wait recorded for contended submission")
+	}
+}
+
+func TestHDDOutOfRange(t *testing.T) {
+	h := newTestHDD()
+	cases := []Request{
+		{Read, -1, 8},
+		{Read, h.Sectors(), 1},
+		{Read, h.Sectors() - 4, 8},
+		{Read, 0, 0},
+		{Read, 0, -3},
+	}
+	for _, req := range cases {
+		if _, err := h.Submit(0, req); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("Submit(%+v) error = %v, want ErrOutOfRange", req, err)
+		}
+	}
+	if h.Stats().Errors != int64(len(cases)) {
+		t.Errorf("error count = %d, want %d", h.Stats().Errors, len(cases))
+	}
+}
+
+func TestHDDRandomReadLatencyMagnitude(t *testing.T) {
+	// A random 2 KB read on the default disk should take single-digit
+	// milliseconds — the quantity that makes the paper's disk-bound
+	// region three orders slower than memory.
+	h := newTestHDD()
+	rng := sim.NewRNG(4)
+	var at sim.Time
+	const n = 2000
+	for i := 0; i < n; i++ {
+		done, err := h.Submit(at, Request{Read, rng.Int63n(h.Sectors() - 4), 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = done
+	}
+	mean := float64(at) / n
+	if mean < float64(2*sim.Millisecond) || mean > float64(25*sim.Millisecond) {
+		t.Errorf("mean random-read latency = %v ns, want 2–25 ms", mean)
+	}
+}
+
+func TestHDDShortSeeksCheaper(t *testing.T) {
+	// Random access confined to a 1 GB slice must be faster than
+	// random access across the whole 250 GB disk: this is the effect
+	// that keeps the paper's in-file random reads below full-stroke
+	// cost.
+	near := NewHDD(DefaultHDD(), sim.NewRNG(5))
+	far := NewHDD(DefaultHDD(), sim.NewRNG(5))
+	rng1, rng2 := sim.NewRNG(6), sim.NewRNG(6)
+	sliceSectors := int64((1 << 30) / SectorSize)
+	var atNear, atFar sim.Time
+	for i := 0; i < 1000; i++ {
+		var err error
+		atNear, err = near.Submit(atNear, Request{Read, rng1.Int63n(sliceSectors), 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		atFar, err = far.Submit(atFar, Request{Read, rng2.Int63n(far.Sectors() - 4), 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if atNear >= atFar {
+		t.Errorf("near-random (%v) not faster than far-random (%v)", atNear, atFar)
+	}
+}
+
+func TestHDDDeterminism(t *testing.T) {
+	run := func() sim.Time {
+		h := NewHDD(DefaultHDD(), sim.NewRNG(42))
+		rng := sim.NewRNG(43)
+		var at sim.Time
+		for i := 0; i < 500; i++ {
+			var err error
+			at, err = h.Submit(at, Request{Read, rng.Int63n(h.Sectors() - 4), 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return at
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same-seed runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestTimeMonotonicityProperty(t *testing.T) {
+	// Property: for any request sequence, completion times never
+	// decrease and are never before submission.
+	devices := map[string]Device{
+		"hdd":     NewHDD(DefaultHDD(), sim.NewRNG(7)),
+		"ssd":     NewSSD(DefaultSSD(), sim.NewRNG(8)),
+		"ramdisk": NewRAMDisk(1 << 30),
+	}
+	for name, d := range devices {
+		d := d
+		var at, lastDone sim.Time
+		rng := sim.NewRNG(9)
+		f := func(lbaSeed uint32, sectors uint8, isWrite bool, gap uint16) bool {
+			n := int64(sectors%32) + 1
+			lba := (int64(lbaSeed) * 7919) % (d.Sectors() - n)
+			op := Read
+			if isWrite {
+				op = Write
+			}
+			at += sim.Time(gap) * sim.Microsecond
+			done, err := d.Submit(at, Request{op, lba, n})
+			if err != nil {
+				return false
+			}
+			ok := done >= at && done >= lastDone
+			lastDone = done
+			_ = rng
+			return ok
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSSDFasterThanHDDForRandom(t *testing.T) {
+	ssd := NewSSD(DefaultSSD(), sim.NewRNG(10))
+	hdd := NewHDD(DefaultHDD(), sim.NewRNG(11))
+	r1, r2 := sim.NewRNG(12), sim.NewRNG(12)
+	var atS, atH sim.Time
+	for i := 0; i < 500; i++ {
+		var err error
+		atS, err = ssd.Submit(atS, Request{Read, r1.Int63n(ssd.Sectors() - 4), 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		atH, err = hdd.Submit(atH, Request{Read, r2.Int63n(hdd.Sectors() - 4), 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if atS*10 > atH {
+		t.Errorf("SSD random reads (%v) not ≫10x faster than HDD (%v)", atS, atH)
+	}
+}
+
+func TestSSDWriteSlowerThanRead(t *testing.T) {
+	cfg := DefaultSSD()
+	cfg.GCProb = 0 // isolate the base asymmetry
+	cfg.NoiseFrac = 0
+	ssd := NewSSD(cfg, sim.NewRNG(13))
+	rd, err := ssd.Submit(0, Request{Read, 0, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssd2 := NewSSD(cfg, sim.NewRNG(13))
+	wr, err := ssd2.Submit(0, Request{Write, 0, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr <= rd {
+		t.Errorf("SSD write (%v) not slower than read (%v)", wr, rd)
+	}
+}
+
+func TestRAMDiskLatency(t *testing.T) {
+	rd := NewRAMDisk(1 << 30)
+	done, err := rd.Submit(0, Request{Read, 0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done > 10*sim.Microsecond {
+		t.Errorf("RAM disk 2 KB read took %v, want < 10µs", done)
+	}
+}
+
+func TestStatsAccumulation(t *testing.T) {
+	rd := NewRAMDisk(1 << 20)
+	if _, err := rd.Submit(0, Request{Read, 0, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Submit(0, Request{Write, 8, 2}); err != nil {
+		t.Fatal(err)
+	}
+	s := rd.Stats()
+	if s.Reads != 1 || s.Writes != 1 {
+		t.Errorf("counts = %d reads %d writes, want 1/1", s.Reads, s.Writes)
+	}
+	if s.SectorsRead != 4 || s.SectorsWrite != 2 {
+		t.Errorf("sectors = %d read %d written, want 4/2", s.SectorsRead, s.SectorsWrite)
+	}
+	if s.Bytes() != 6*SectorSize {
+		t.Errorf("Bytes() = %d, want %d", s.Bytes(), 6*SectorSize)
+	}
+	rd.ResetStats()
+	if rd.Stats() != (Stats{}) {
+		t.Error("ResetStats left residue")
+	}
+}
+
+func TestFaultyBadRange(t *testing.T) {
+	inner := NewRAMDisk(1 << 20)
+	f := NewFaulty(inner, FaultPolicy{
+		BadRanges: []SectorRange{{First: 100, Count: 10}},
+	}, sim.NewRNG(14))
+	if _, err := f.Submit(0, Request{Read, 0, 8}); err != nil {
+		t.Fatalf("good range failed: %v", err)
+	}
+	for _, req := range []Request{
+		{Read, 100, 1}, {Read, 95, 10}, {Read, 109, 4}, {Write, 105, 2},
+	} {
+		if _, err := f.Submit(0, req); !errors.Is(err, ErrIO) {
+			t.Errorf("Submit(%+v) = %v, want ErrIO", req, err)
+		}
+	}
+	if _, err := f.Submit(0, Request{Read, 110, 8}); err != nil {
+		t.Errorf("range just past bad sectors failed: %v", err)
+	}
+}
+
+func TestFaultyProbabilistic(t *testing.T) {
+	f := NewFaulty(NewRAMDisk(1<<20), FaultPolicy{ReadErrProb: 0.5}, sim.NewRNG(15))
+	var errs int
+	for i := 0; i < 1000; i++ {
+		if _, err := f.Submit(0, Request{Read, 0, 1}); err != nil {
+			errs++
+		}
+	}
+	if errs < 400 || errs > 600 {
+		t.Errorf("error rate = %d/1000, want ~500", errs)
+	}
+	// Writes must be unaffected.
+	if _, err := f.Submit(0, Request{Write, 0, 1}); err != nil {
+		t.Errorf("write failed under read-only fault policy: %v", err)
+	}
+}
+
+func TestFaultyFailAfter(t *testing.T) {
+	f := NewFaulty(NewRAMDisk(1<<20), FaultPolicy{FailAfter: 3}, sim.NewRNG(16))
+	for i := 0; i < 3; i++ {
+		if _, err := f.Submit(0, Request{Read, 0, 1}); err != nil {
+			t.Fatalf("request %d failed early: %v", i, err)
+		}
+	}
+	if _, err := f.Submit(0, Request{Read, 0, 1}); !errors.Is(err, ErrIO) {
+		t.Fatalf("device did not die after FailAfter: %v", err)
+	}
+}
+
+func TestSubmitBatchElevatorBeatsFCFS(t *testing.T) {
+	// A scattered batch serviced in LBA order must beat the same batch
+	// in arrival order — the design decision behind the write-back
+	// flusher (DESIGN.md ablation 2).
+	mkReqs := func() []Request {
+		rng := sim.NewRNG(17)
+		reqs := make([]Request, 64)
+		for i := range reqs {
+			reqs[i] = Request{Write, rng.Int63n(1 << 28), 8}
+		}
+		return reqs
+	}
+	elev := NewHDD(DefaultHDD(), sim.NewRNG(18))
+	doneElev, err := SubmitBatch(elev, 0, mkReqs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfs := NewHDD(DefaultHDD(), sim.NewRNG(18))
+	doneFCFS, err := SubmitBatchFCFS(fcfs, 0, mkReqs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doneElev >= doneFCFS {
+		t.Errorf("elevator batch (%v) not faster than FCFS batch (%v)", doneElev, doneFCFS)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("Op.String misbehaves")
+	}
+}
+
+func BenchmarkHDDRandomRead(b *testing.B) {
+	h := NewHDD(DefaultHDD(), sim.NewRNG(1))
+	rng := sim.NewRNG(2)
+	var at sim.Time
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done, err := h.Submit(at, Request{Read, rng.Int63n(h.Sectors() - 4), 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		at = done
+	}
+}
+
+func BenchmarkSSDRandomRead(b *testing.B) {
+	s := NewSSD(DefaultSSD(), sim.NewRNG(1))
+	rng := sim.NewRNG(2)
+	var at sim.Time
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done, err := s.Submit(at, Request{Read, rng.Int63n(s.Sectors() - 4), 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		at = done
+	}
+}

@@ -1,0 +1,111 @@
+package device
+
+import (
+	"repro/internal/sim"
+
+	"math"
+)
+
+// SSDConfig describes a flash device. The defaults model an early
+// SATA SSD: fast uniform reads, slower writes, and occasional long
+// garbage-collection stalls on writes — the paper's "multiple cache
+// levels (using Flash memory)" substrate.
+type SSDConfig struct {
+	Name          string
+	CapacityBytes int64
+	ReadLatency   sim.Time // per-request flash read latency
+	WriteLatency  sim.Time // per-request program latency
+	TransferMBps  float64
+	// GCProb is the per-write probability of a garbage-collection
+	// stall of GCPause (models write-amplification hiccups).
+	GCProb  float64
+	GCPause sim.Time
+	// NoiseFrac is the relative stddev applied to service time.
+	NoiseFrac float64
+}
+
+// DefaultSSD returns a SATA-era flash model.
+func DefaultSSD() SSDConfig {
+	return SSDConfig{
+		Name:          "sata-ssd",
+		CapacityBytes: 64 << 30,
+		ReadLatency:   90 * sim.Microsecond,
+		WriteLatency:  250 * sim.Microsecond,
+		TransferMBps:  220,
+		GCProb:        0.002,
+		GCPause:       4 * sim.Millisecond,
+		NoiseFrac:     0.03,
+	}
+}
+
+// SSD is a flash device: constant access latency (no mechanics), a
+// higher transfer rate than disk, and stochastic write stalls.
+type SSD struct {
+	cfg       SSDConfig
+	sectors   int64
+	rng       *sim.RNG
+	busyUntil sim.Time
+	stats     Stats
+}
+
+// NewSSD builds an SSD from cfg, drawing noise from rng.
+func NewSSD(cfg SSDConfig, rng *sim.RNG) *SSD {
+	if cfg.CapacityBytes <= 0 {
+		panic("device: SSD with non-positive capacity")
+	}
+	return &SSD{cfg: cfg, sectors: cfg.CapacityBytes / SectorSize, rng: rng}
+}
+
+// Name implements Device.
+func (s *SSD) Name() string { return s.cfg.Name }
+
+// Sectors implements Device.
+func (s *SSD) Sectors() int64 { return s.sectors }
+
+// Stats implements Device.
+func (s *SSD) Stats() Stats { return s.stats }
+
+// ResetStats implements Device.
+func (s *SSD) ResetStats() { s.stats = Stats{} }
+
+// Submit implements Device.
+func (s *SSD) Submit(at sim.Time, req Request) (sim.Time, error) {
+	if err := validate(req, s.sectors); err != nil {
+		s.stats.Errors++
+		return at, err
+	}
+	start := at
+	if s.busyUntil > start {
+		s.stats.QueueWait += s.busyUntil - start
+		start = s.busyUntil
+	}
+	var base sim.Time
+	switch req.Op {
+	case Read:
+		base = s.cfg.ReadLatency
+	case Write:
+		base = s.cfg.WriteLatency
+		if s.cfg.GCProb > 0 && s.rng.Bool(s.cfg.GCProb) {
+			base += s.cfg.GCPause
+		}
+	}
+	transfer := sim.Time(float64(req.Sectors*SectorSize) / (s.cfg.TransferMBps * 1e6) * 1e9)
+	service := base + transfer
+	if s.cfg.NoiseFrac > 0 {
+		service = sim.Time(math.Max(float64(service)*s.rng.NormalClamped(1, s.cfg.NoiseFrac, 0.5, 2), 0))
+	}
+	done := start + service
+	s.busyUntil = done
+	s.stats.BusyTime += service
+	switch req.Op {
+	case Read:
+		s.stats.Reads++
+		s.stats.SectorsRead += req.Sectors
+	case Write:
+		s.stats.Writes++
+		s.stats.SectorsWrite += req.Sectors
+	}
+	return done, nil
+}
+
+var _ Device = (*SSD)(nil)

@@ -1,0 +1,107 @@
+package fs
+
+import "sort"
+
+// ExtentMap is the logical-to-physical block map of one file, kept as
+// sorted, coalesced extents. All three file-system models use it to
+// remember where file data lives; they differ in how *fragmented* the
+// extents are (allocator behavior) and in what metadata I/O resolving
+// them costs (Map implementations).
+type ExtentMap struct {
+	exts   []Extent // sorted by FileBlock, non-overlapping
+	blocks int64    // total mapped blocks
+}
+
+// Blocks reports the number of mapped blocks.
+func (m *ExtentMap) Blocks() int64 { return m.blocks }
+
+// Extents reports the number of extents (a file-fragmentation
+// measure).
+func (m *ExtentMap) Extents() int { return len(m.exts) }
+
+// NextFileBlock reports the first unmapped logical block (i.e., the
+// file's current block length, assuming no holes — our workloads
+// never create sparse files).
+func (m *ExtentMap) NextFileBlock() int64 {
+	if len(m.exts) == 0 {
+		return 0
+	}
+	last := m.exts[len(m.exts)-1]
+	return last.End()
+}
+
+// Append maps the runs onto logical blocks starting at the current
+// end of file, coalescing physically contiguous appends.
+func (m *ExtentMap) Append(runs []Run) {
+	fileBlock := m.NextFileBlock()
+	for _, r := range runs {
+		if n := len(m.exts); n > 0 {
+			last := &m.exts[n-1]
+			if last.End() == fileBlock && last.DiskBlock+last.Count == r.Start {
+				last.Count += r.Count
+				fileBlock += r.Count
+				m.blocks += r.Count
+				continue
+			}
+		}
+		m.exts = append(m.exts, Extent{FileBlock: fileBlock, DiskBlock: r.Start, Count: r.Count})
+		fileBlock += r.Count
+		m.blocks += r.Count
+	}
+}
+
+// Slice returns the extents covering logical blocks [fileBlock,
+// fileBlock+n), clipped to the mapped region.
+func (m *ExtentMap) Slice(fileBlock, n int64) []Extent {
+	if n <= 0 || len(m.exts) == 0 {
+		return nil
+	}
+	end := fileBlock + n
+	// First extent whose End() > fileBlock.
+	i := sort.Search(len(m.exts), func(i int) bool {
+		return m.exts[i].End() > fileBlock
+	})
+	var out []Extent
+	for ; i < len(m.exts) && m.exts[i].FileBlock < end; i++ {
+		e := m.exts[i]
+		if e.FileBlock < fileBlock {
+			delta := fileBlock - e.FileBlock
+			e.FileBlock += delta
+			e.DiskBlock += delta
+			e.Count -= delta
+		}
+		if e.End() > end {
+			e.Count = end - e.FileBlock
+		}
+		if e.Count > 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TruncateTo shrinks the map to newBlocks logical blocks, returning
+// the freed physical runs (for the allocator).
+func (m *ExtentMap) TruncateTo(newBlocks int64) []Run {
+	var freed []Run
+	for len(m.exts) > 0 {
+		last := &m.exts[len(m.exts)-1]
+		if last.End() <= newBlocks {
+			break
+		}
+		if last.FileBlock >= newBlocks {
+			freed = append(freed, Run{Start: last.DiskBlock, Count: last.Count})
+			m.blocks -= last.Count
+			m.exts = m.exts[:len(m.exts)-1]
+			continue
+		}
+		keep := newBlocks - last.FileBlock
+		freed = append(freed, Run{Start: last.DiskBlock + keep, Count: last.Count - keep})
+		m.blocks -= last.Count - keep
+		last.Count = keep
+	}
+	return freed
+}
+
+// All returns the full extent list (callers must not mutate it).
+func (m *ExtentMap) All() []Extent { return m.exts }

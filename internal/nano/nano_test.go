@@ -1,0 +1,135 @@
+package nano
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// testStack is a small, fast configuration: 64 MB RAM, 4 GB disk.
+func testStack() core.StackConfig {
+	return core.StackConfig{
+		FS: "ext2", Device: "hdd", DiskBytes: 4 << 30,
+		RAMBytes: 64 << 20, OSReserveBytes: 13 << 20,
+		CachePolicy: "lru",
+	}
+}
+
+func TestDefaultSuiteRuns(t *testing.T) {
+	suite := DefaultSuite()
+	if len(suite.Benchmarks) != 12 {
+		t.Fatalf("suite has %d benchmarks, want 12", len(suite.Benchmarks))
+	}
+	scores, err := suite.RunAll(testStack(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(suite.Benchmarks) {
+		t.Fatalf("got %d scores", len(scores))
+	}
+	for _, s := range scores {
+		if s.Value <= 0 {
+			t.Errorf("%s: non-positive score %v", s.Name, s.Value)
+		}
+		if s.Unit == "" || s.Name == "" {
+			t.Errorf("score missing metadata: %+v", s)
+		}
+		t.Logf("%s", s)
+	}
+}
+
+func TestSuiteCoversPaperMinimum(t *testing.T) {
+	// The paper: "at a minimum, an encompassing benchmark should
+	// include in-memory, disk layout, cache warm-up/eviction, and
+	// meta-data operations performance evaluation components."
+	suite := DefaultSuite()
+	dims := map[core.Dimension]int{}
+	for _, b := range suite.Benchmarks {
+		dims[b.Dimension]++
+	}
+	for _, d := range core.AllDimensions() {
+		if dims[d] == 0 {
+			t.Errorf("suite does not cover dimension %v", d)
+		}
+	}
+}
+
+func TestDimensionOrderingSanity(t *testing.T) {
+	// Cross-benchmark physics: in-memory ops/s must exceed cold
+	// random-read ops/s by orders of magnitude; sequential bandwidth
+	// must beat the equivalent bandwidth of random 4K IOPS.
+	stack := testStack()
+	scores, err := DefaultSuite().RunAll(stack, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Score{}
+	for _, s := range scores {
+		byName[s.Name] = s
+	}
+	if byName["mem-read"].Value < 20*byName["layout-rand-read"].Value {
+		t.Errorf("mem-read %v not ≫ layout-rand-read %v",
+			byName["mem-read"].Value, byName["layout-rand-read"].Value)
+	}
+	seqBytes := byName["io-seq-bw"].Value * 1e6
+	randBytes := byName["io-rand-iops"].Value * 4096
+	if seqBytes < 10*randBytes {
+		t.Errorf("sequential bandwidth %v B/s not ≫ random-read bandwidth %v B/s",
+			seqBytes, randBytes)
+	}
+	// Aged layout must not beat fresh layout.
+	if byName["layout-aged"].Value > byName["layout-seq-read"].Value*1.1 {
+		t.Errorf("aged read %v faster than fresh %v",
+			byName["layout-aged"].Value, byName["layout-seq-read"].Value)
+	}
+	// Disk-bound threads cannot scale 8x.
+	if v := byName["scale-threads"].Value; v > 4 || v < 0.3 {
+		t.Errorf("scale-threads ratio %v outside plausible [0.3, 4]", v)
+	}
+}
+
+func TestSSDChangesIOScores(t *testing.T) {
+	hdd := testStack()
+	ssd := testStack()
+	ssd.Device = "ssd"
+	suite := &Suite{Benchmarks: DefaultSuite().Benchmarks[:2]} // io-* only
+	h, err := suite.RunAll(hdd, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := suite.RunAll(ssd, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SSD random IOPS must crush disk random IOPS.
+	if s[1].Value < 10*h[1].Value {
+		t.Errorf("ssd IOPS %v not ≫ hdd IOPS %v", s[1].Value, h[1].Value)
+	}
+}
+
+func TestScoreString(t *testing.T) {
+	s := Score{Name: "x", Dimension: core.DimIO, Value: 12.3, Unit: "MB/s"}
+	if out := s.String(); !strings.Contains(out, "MB/s") || !strings.Contains(out, "io") {
+		t.Errorf("String() = %q", out)
+	}
+}
+
+func TestXFSBeatsExt2OnAgedLayout(t *testing.T) {
+	// The extent allocator's whole point: aged sequential reads stay
+	// faster (fewer extents => fewer seeks).
+	e2 := testStack()
+	xf := testStack()
+	xf.FS = "xfs"
+	s2, err := layoutAged(e2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, err := layoutAged(xf, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sx.Value < s2.Value*0.8 {
+		t.Errorf("aged xfs %v MB/s much worse than aged ext2 %v MB/s", sx.Value, s2.Value)
+	}
+}

@@ -1,0 +1,226 @@
+// Package selfscale implements a self-scaling benchmark in the style
+// of Chen & Patterson (SIGMETRICS '93), the paper's reference [3]:
+// instead of measuring at fixed points chosen by the researcher, the
+// benchmark explores the parameter space itself — sweeping each
+// workload parameter around a base point and automatically locating
+// performance cliffs.
+//
+// CliffSearch is the piece the paper's §3.1 zoom uses: it bisects the
+// file-size axis until the memory-to-disk cliff is bracketed tighter
+// than a target resolution, reproducing the observation that the
+// whole order-of-magnitude drop happens "within an even narrower
+// region — less than 6 MB in size".
+package selfscale
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Params is the self-scaling workload's parameter vector, after Chen
+// & Patterson: working-set size, request size, read fraction,
+// sequential fraction, and concurrency.
+type Params struct {
+	UniqueBytes int64   // working-set (file) size
+	IOSize      int64   // request size
+	ReadFrac    float64 // fraction of operations that read
+	SeqFrac     float64 // fraction of operations that are sequential
+	Threads     int
+}
+
+// DefaultParams returns a balanced base point on the given stack: the
+// working set sits at the cache size (the most revealing, and most
+// fragile, spot).
+func DefaultParams(stack core.StackConfig) Params {
+	return Params{
+		UniqueBytes: stack.CacheBytesMean(),
+		IOSize:      8 << 10,
+		ReadFrac:    0.7,
+		SeqFrac:     0.3,
+		Threads:     1,
+	}
+}
+
+// Workload materializes the parameter vector as a flowop mix: iters
+// out of 100 allocated to read-seq/read-rand/write-seq/write-rand by
+// the two fractions.
+func (p Params) Workload() *workload.Workload {
+	mix := func(frac float64) int { return int(frac*100 + 0.5) }
+	rs := mix(p.ReadFrac * p.SeqFrac)
+	rr := mix(p.ReadFrac * (1 - p.SeqFrac))
+	ws := mix((1 - p.ReadFrac) * p.SeqFrac)
+	wr := 100 - rs - rr - ws
+	var ops []workload.Flowop
+	add := func(kind workload.OpKind, iters int) {
+		if iters > 0 {
+			ops = append(ops, workload.Flowop{Kind: kind, FileSet: "ss", IOSize: p.IOSize, Iters: iters})
+		}
+	}
+	add(workload.OpReadSeq, rs)
+	add(workload.OpReadRand, rr)
+	add(workload.OpWriteSeq, ws)
+	add(workload.OpWriteRand, wr)
+	threads := p.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	return &workload.Workload{
+		Name: "selfscale",
+		FileSets: []workload.FileSet{{
+			Name: "ss", Dir: "/ss", Entries: 1,
+			MeanSize: p.UniqueBytes, PreallocFrac: 1,
+		}},
+		Threads: []workload.ThreadSpec{{
+			Name: "ss", Count: threads,
+			PerOpOverhead: workload.DefaultPerOpOverhead,
+			Flowops:       ops,
+		}},
+	}
+}
+
+// Config tunes the evaluation protocol.
+type Config struct {
+	Stack    core.StackConfig
+	Runs     int
+	Duration sim.Time
+	Window   sim.Time
+	Seed     uint64
+}
+
+// Evaluate measures ops/sec at one parameter point.
+func Evaluate(cfg Config, p Params) (float64, error) {
+	exp := &core.Experiment{
+		Name:          fmt.Sprintf("selfscale-%dMB", p.UniqueBytes>>20),
+		Stack:         cfg.Stack,
+		Workload:      p.Workload(),
+		Runs:          max(cfg.Runs, 1),
+		Duration:      cfg.Duration,
+		MeasureWindow: cfg.Window,
+		Seed:          cfg.Seed,
+	}
+	res, err := exp.Run()
+	if err != nil {
+		return 0, err
+	}
+	return res.Throughput.Mean, nil
+}
+
+// Point is one sample of a parameter sweep.
+type Point struct {
+	X   float64
+	Ops float64
+}
+
+// SweepParam varies one named parameter ("uniquebytes", "iosize",
+// "readfrac", "seqfrac", "threads") across values, holding the rest
+// of the base point fixed — the self-scaling benchmark's per-axis
+// report.
+func SweepParam(cfg Config, base Params, param string, values []float64) ([]Point, error) {
+	var out []Point
+	for _, v := range values {
+		p := base
+		switch param {
+		case "uniquebytes":
+			p.UniqueBytes = int64(v)
+		case "iosize":
+			p.IOSize = int64(v)
+		case "readfrac":
+			p.ReadFrac = v
+		case "seqfrac":
+			p.SeqFrac = v
+		case "threads":
+			p.Threads = int(v)
+		default:
+			return nil, fmt.Errorf("selfscale: unknown parameter %q", param)
+		}
+		ops, err := Evaluate(cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Point{X: v, Ops: ops})
+	}
+	return out, nil
+}
+
+// Cliff is a located performance discontinuity.
+type Cliff struct {
+	// LoBytes and HiBytes bracket the cliff: throughput at LoBytes is
+	// at least Ratio times the throughput at HiBytes.
+	LoBytes, HiBytes int64
+	// OpsLo and OpsHi are the throughputs at the bracket edges.
+	OpsLo, OpsHi float64
+	// Evaluations counts how many measurements the search spent.
+	Evaluations int
+}
+
+// Width reports the bracket width — the paper's "<6 MB" number.
+func (c Cliff) Width() int64 { return c.HiBytes - c.LoBytes }
+
+// String renders the bracket.
+func (c Cliff) String() string {
+	return fmt.Sprintf("cliff within [%d MB, %d MB] (width %.1f MB): %.0f → %.0f ops/s in %d evals",
+		c.LoBytes>>20, c.HiBytes>>20, float64(c.Width())/(1<<20), c.OpsLo, c.OpsHi, c.Evaluations)
+}
+
+// CliffSearch bisects working-set size in [loBytes, hiBytes] until
+// the region where throughput falls by at least ratio is narrower
+// than resolution. The endpoints must straddle the cliff (fast at lo,
+// slow at hi) or an error is returned.
+func CliffSearch(cfg Config, base Params, loBytes, hiBytes int64, ratio float64, resolution int64) (Cliff, error) {
+	if loBytes >= hiBytes {
+		return Cliff{}, fmt.Errorf("selfscale: bad bracket [%d, %d]", loBytes, hiBytes)
+	}
+	if ratio <= 1 {
+		ratio = 2
+	}
+	if resolution < 1<<20 {
+		resolution = 1 << 20
+	}
+	eval := func(bytes int64) (float64, error) {
+		p := base
+		p.UniqueBytes = bytes
+		return Evaluate(cfg, p)
+	}
+	evals := 0
+	opsLo, err := eval(loBytes)
+	if err != nil {
+		return Cliff{}, err
+	}
+	evals++
+	opsHi, err := eval(hiBytes)
+	if err != nil {
+		return Cliff{}, err
+	}
+	evals++
+	if opsLo < ratio*opsHi {
+		return Cliff{}, fmt.Errorf("selfscale: no %gx cliff between %d MB (%.0f ops/s) and %d MB (%.0f ops/s)",
+			ratio, loBytes>>20, opsLo, hiBytes>>20, opsHi)
+	}
+	// Bisect against a fixed threshold — the geometric mean of the
+	// initial fast and slow levels — so intermediate points (the
+	// transition is a ramp, not a step) cannot strand the bracket on
+	// one side of the cliff.
+	threshold := math.Sqrt(opsLo * opsHi)
+	for hiBytes-loBytes > resolution {
+		mid := (loBytes + hiBytes) / 2
+		opsMid, err := eval(mid)
+		if err != nil {
+			return Cliff{}, err
+		}
+		evals++
+		if opsMid >= threshold {
+			loBytes, opsLo = mid, opsMid
+		} else {
+			hiBytes, opsHi = mid, opsMid
+		}
+	}
+	return Cliff{
+		LoBytes: loBytes, HiBytes: hiBytes,
+		OpsLo: opsLo, OpsHi: opsHi,
+		Evaluations: evals,
+	}, nil
+}

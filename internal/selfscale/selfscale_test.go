@@ -1,0 +1,127 @@
+package selfscale
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func testCfg() Config {
+	return Config{
+		Stack: core.StackConfig{
+			FS: "ext2", Device: "hdd", DiskBytes: 4 << 30,
+			RAMBytes: 64 << 20, OSReserveBytes: 13 << 20,
+			CachePolicy: "lru",
+		},
+		Runs: 1, Duration: 10 * sim.Second, Window: 5 * sim.Second, Seed: 11,
+	}
+}
+
+func TestParamsWorkloadMix(t *testing.T) {
+	p := Params{UniqueBytes: 1 << 20, IOSize: 4096, ReadFrac: 0.7, SeqFrac: 0.5, Threads: 2}
+	w := p.Workload()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, op := range w.Threads[0].Flowops {
+		total += op.Iters
+	}
+	if total != 100 {
+		t.Fatalf("mix iters sum to %d, want 100", total)
+	}
+	if w.TotalThreads() != 2 {
+		t.Fatalf("threads = %d", w.TotalThreads())
+	}
+	// Pure reads: exactly two read flowops, no writes.
+	pure := Params{UniqueBytes: 1 << 20, IOSize: 4096, ReadFrac: 1, SeqFrac: 0}
+	w2 := pure.Workload()
+	if len(w2.Threads[0].Flowops) != 1 {
+		t.Fatalf("pure random read produced %d flowops", len(w2.Threads[0].Flowops))
+	}
+}
+
+func TestDefaultParamsAtCacheSize(t *testing.T) {
+	cfg := testCfg()
+	p := DefaultParams(cfg.Stack)
+	if p.UniqueBytes != cfg.Stack.CacheBytesMean() {
+		t.Errorf("default working set %d != cache %d", p.UniqueBytes, cfg.Stack.CacheBytesMean())
+	}
+}
+
+func TestEvaluateMemoryVsDisk(t *testing.T) {
+	cfg := testCfg()
+	base := Params{IOSize: 2048, ReadFrac: 1, SeqFrac: 0, Threads: 1}
+	small := base
+	small.UniqueBytes = 8 << 20
+	big := base
+	big.UniqueBytes = 256 << 20
+	fast, err := Evaluate(cfg, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Evaluate(cfg, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast < 5*slow {
+		t.Errorf("in-cache %v ops/s not ≫ out-of-cache %v ops/s", fast, slow)
+	}
+}
+
+func TestSweepParam(t *testing.T) {
+	cfg := testCfg()
+	base := Params{UniqueBytes: 16 << 20, IOSize: 2048, ReadFrac: 1, SeqFrac: 0, Threads: 1}
+	pts, err := SweepParam(cfg, base, "uniquebytes",
+		[]float64{16 << 20, 128 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Ops < pts[1].Ops {
+		t.Errorf("throughput rose with working set: %v", pts)
+	}
+	if _, err := SweepParam(cfg, base, "warpfactor", []float64{1}); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+}
+
+func TestCliffSearchBracketsCacheSize(t *testing.T) {
+	cfg := testCfg()
+	base := Params{IOSize: 2048, ReadFrac: 1, SeqFrac: 0, Threads: 1}
+	cacheBytes := cfg.Stack.CacheBytesMean() // 51 MB
+	cliff, err := CliffSearch(cfg, base, 16<<20, 160<<20, 3, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cliff.Width() > 4<<20 {
+		t.Errorf("bracket width %d > resolution", cliff.Width())
+	}
+	// The cliff must sit near the cache size (within a factor of 2).
+	mid := (cliff.LoBytes + cliff.HiBytes) / 2
+	if mid < cacheBytes/2 || mid > cacheBytes*2 {
+		t.Errorf("cliff at %d MB, cache is %d MB", mid>>20, cacheBytes>>20)
+	}
+	if cliff.Evaluations < 3 {
+		t.Errorf("suspiciously few evaluations: %d", cliff.Evaluations)
+	}
+	if s := cliff.String(); !strings.Contains(s, "cliff within") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestCliffSearchNoCliff(t *testing.T) {
+	cfg := testCfg()
+	base := Params{IOSize: 2048, ReadFrac: 1, SeqFrac: 0, Threads: 1}
+	// Both endpoints inside the cache: no cliff to find.
+	if _, err := CliffSearch(cfg, base, 4<<20, 16<<20, 3, 1<<20); err == nil {
+		t.Error("CliffSearch invented a cliff inside the cache")
+	}
+	if _, err := CliffSearch(cfg, base, 10, 5, 3, 1<<20); err == nil {
+		t.Error("inverted bracket accepted")
+	}
+}

@@ -1,0 +1,236 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements the Student-t distribution from first
+// principles (regularized incomplete beta function via continued
+// fractions) so that confidence intervals and significance tests need
+// no external dependency and no hard-coded table.
+
+// lgamma returns the log of the gamma function (sign discarded; all
+// our arguments are positive).
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf evaluates the continued fraction for the incomplete beta
+// function (Numerical Recipes §6.4 form).
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// RegIncBeta returns the regularized incomplete beta function
+// I_x(a, b).
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	bt := math.Exp(lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return bt * betacf(a, b, x) / a
+	}
+	return 1 - bt*betacf(b, a, 1-x)/b
+}
+
+// TCDF returns P(T <= t) for a Student-t variable with df degrees of
+// freedom.
+func TCDF(t, df float64) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	x := df / (df + t*t)
+	p := 0.5 * RegIncBeta(df/2, 0.5, x)
+	if t > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// TQuantile returns the p-th quantile (0 < p < 1) of the Student-t
+// distribution with df degrees of freedom, by bisection on TCDF.
+func TQuantile(p, df float64) float64 {
+	if df <= 0 || p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	if p == 0.5 {
+		return 0
+	}
+	// Symmetric: solve for the upper tail and mirror.
+	if p < 0.5 {
+		return -TQuantile(1-p, df)
+	}
+	lo, hi := 0.0, 1.0
+	for TCDF(hi, df) < p {
+		hi *= 2
+		if hi > 1e8 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if TCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-10*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// NormalCDF returns the standard normal CDF.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// WelchResult is the outcome of a Welch two-sample t-test.
+type WelchResult struct {
+	T  float64 // test statistic
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// WelchTTest compares the means of two independent samples without
+// assuming equal variances. The harness refuses to declare "A is
+// faster than B" unless this test agrees.
+func WelchTTest(a, b []float64) WelchResult {
+	na, nb := float64(len(a)), float64(len(b))
+	if na < 2 || nb < 2 {
+		return WelchResult{P: 1}
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	sa, sb := va/na, vb/nb
+	se := math.Sqrt(sa + sb)
+	if se == 0 {
+		if ma == mb {
+			return WelchResult{P: 1}
+		}
+		return WelchResult{T: math.Inf(sign(ma - mb)), DF: na + nb - 2, P: 0}
+	}
+	t := (ma - mb) / se
+	df := (sa + sb) * (sa + sb) / (sa*sa/(na-1) + sb*sb/(nb-1))
+	p := 2 * (1 - TCDF(math.Abs(t), df))
+	if p > 1 {
+		p = 1
+	}
+	return WelchResult{T: t, DF: df, P: p}
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// MannWhitneyU performs the two-sided Mann-Whitney U test (normal
+// approximation with tie correction) and returns the p-value. It is
+// the distribution-free companion to Welch for the skewed, outlier-
+// ridden samples disk benchmarks produce.
+func MannWhitneyU(a, b []float64) float64 {
+	na, nb := len(a), len(b)
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	type obs struct {
+		v    float64
+		from int
+	}
+	all := make([]obs, 0, na+nb)
+	for _, v := range a {
+		all = append(all, obs{v, 0})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, 1})
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].v < all[j].v })
+	// Assign mid-ranks with tie groups.
+	ranks := make([]float64, len(all))
+	var tieTerm float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	var ra float64
+	for i, o := range all {
+		if o.from == 0 {
+			ra += ranks[i]
+		}
+	}
+	u := ra - float64(na*(na+1))/2
+	n := float64(na + nb)
+	mu := float64(na) * float64(nb) / 2
+	sigma2 := float64(na) * float64(nb) / (n * (n - 1)) * ((n*n*n-n)/12 - tieTerm/12)
+	if sigma2 <= 0 {
+		return 1
+	}
+	z := (u - mu) / math.Sqrt(sigma2)
+	p := 2 * (1 - NormalCDF(math.Abs(z)))
+	if p > 1 {
+		p = 1
+	}
+	return p
+}

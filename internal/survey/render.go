@@ -1,0 +1,61 @@
+package survey
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// Render writes Table 1 in the paper's layout: benchmark, the five
+// dimension markers, and the two usage-count columns.
+func Render(w io.Writer, entries []Entry) error {
+	t := &report.Table{
+		Title: "Table 1: Benchmarks Summary (• isolates, ◦ exercises, ⋆ traces/custom)",
+		Headers: []string{"Benchmark", "I/O", "On-disk", "Caching", "Meta-data", "Scaling",
+			"1999-2007", "2009-2010"},
+	}
+	for _, e := range entries {
+		row := []string{e.Name}
+		for _, d := range core.AllDimensions() {
+			row = append(row, marker(e, d))
+		}
+		row = append(row, fmt.Sprintf("%d", e.Used9907), fmt.Sprintf("%d", e.Used0910))
+		t.AddRow(row...)
+	}
+	u1, u2 := Totals(entries)
+	t.AddRow("TOTAL", "", "", "", "", "", fmt.Sprintf("%d", u1), fmt.Sprintf("%d", u2))
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\nAd-hoc share of 2009-2010 usage: %.0f%%\n", AdHocShare(entries)*100)
+	return err
+}
+
+func marker(e Entry, d core.Dimension) string {
+	cov, ok := e.Dims[d]
+	if !ok {
+		return " "
+	}
+	if e.Kind == Custom {
+		return "⋆"
+	}
+	return cov.String()
+}
+
+// RenderCSV writes the table as CSV for downstream plotting.
+func RenderCSV(w io.Writer, entries []Entry) error {
+	headers := []string{"benchmark", "io", "on_disk", "caching", "meta_data", "scaling",
+		"used_1999_2007", "used_2009_2010"}
+	var rows [][]string
+	for _, e := range entries {
+		row := []string{e.Name}
+		for _, d := range core.AllDimensions() {
+			row = append(row, marker(e, d))
+		}
+		row = append(row, fmt.Sprintf("%d", e.Used9907), fmt.Sprintf("%d", e.Used0910))
+		rows = append(rows, row)
+	}
+	return report.CSV(w, headers, rows)
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/fs"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"repro/internal/workload"
+)
+
+// ReplayMode selects the replayer's timing discipline.
+type ReplayMode int
+
+// Replay modes.
+const (
+	// Timed issues each operation no earlier than its recorded
+	// offset from trace start (open-loop replay); if the system under
+	// test is slower than the traced one, operations queue.
+	Timed ReplayMode = iota
+	// AFAP replays as fast as possible (closed loop): each operation
+	// issues when the previous completes.
+	AFAP
+)
+
+// ReplayResult summarizes a replay.
+type ReplayResult struct {
+	Ops    int64
+	Errors int64
+	Start  sim.Time
+	End    sim.Time
+	Hist   *metrics.Histogram
+	// MaxLag is the worst queueing delay behind the recorded schedule
+	// (Timed mode only) — how far the replayed system fell behind the
+	// traced one.
+	MaxLag sim.Time
+}
+
+// Throughput reports replayed ops/sec.
+func (r ReplayResult) Throughput() float64 {
+	d := (r.End - r.Start).Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / d
+}
+
+// Replay runs the trace against m starting at virtual time start.
+// Files referenced by reads/writes that do not yet exist are created
+// on first touch (traces are often captured mid-life).
+func Replay(t *Trace, m *vfs.Mount, start sim.Time, mode ReplayMode) (ReplayResult, error) {
+	res := ReplayResult{Start: start, Hist: &metrics.Histogram{}}
+	now := start
+	fds := map[string]*vfs.FD{}
+	// ensureParents recreates missing directories: traces reference a
+	// namespace that existed on the traced system, not on this one.
+	ensureParents := func(at sim.Time, path string) sim.Time {
+		parts := strings.Split(strings.Trim(path, "/"), "/")
+		prefix := ""
+		for _, part := range parts[:max(len(parts)-1, 0)] {
+			prefix += "/" + part
+			if done, err := m.Mkdir(at, prefix); err == nil {
+				at = done
+			}
+		}
+		return at
+	}
+	openOrCreate := func(at sim.Time, path string) (*vfs.FD, sim.Time, error) {
+		if fd, ok := fds[path]; ok {
+			return fd, at, nil
+		}
+		fd, done, err := m.Open(at, path)
+		if errors.Is(err, fs.ErrNotExist) {
+			at = ensureParents(at, path)
+			fd, done, err = m.Create(at, path)
+		}
+		if err != nil {
+			return nil, at, err
+		}
+		fds[path] = fd
+		return fd, done, nil
+	}
+	for i, rec := range t.Records {
+		issue := now
+		if mode == Timed {
+			scheduled := start + rec.At
+			if scheduled > issue {
+				issue = scheduled
+			} else if lag := issue - scheduled; lag > res.MaxLag {
+				res.MaxLag = lag
+			}
+		}
+		var done sim.Time
+		var err error
+		switch rec.Kind {
+		case workload.OpReadRand, workload.OpReadSeq, workload.OpReadWholeFile:
+			var fd *vfs.FD
+			fd, issue, err = openOrCreate(issue, rec.Path)
+			if err == nil {
+				_, done, err = m.Read(issue, fd, rec.Offset, rec.Size)
+			}
+		case workload.OpWriteRand, workload.OpWriteSeq, workload.OpAppend:
+			var fd *vfs.FD
+			fd, issue, err = openOrCreate(issue, rec.Path)
+			if err == nil {
+				done, err = m.Write(issue, fd, rec.Offset, rec.Size)
+			}
+		case workload.OpCreate:
+			issue = ensureParents(issue, rec.Path)
+			var fd *vfs.FD
+			fd, done, err = m.Create(issue, rec.Path)
+			if err == nil {
+				fds[rec.Path] = fd
+			}
+		case workload.OpDelete:
+			delete(fds, rec.Path)
+			done, err = m.Unlink(issue, rec.Path)
+		case workload.OpStat:
+			_, done, err = m.Stat(issue, rec.Path)
+		case workload.OpFsync:
+			fd, ok := fds[rec.Path]
+			if !ok {
+				fd, issue, err = openOrCreate(issue, rec.Path)
+			}
+			if err == nil && fd != nil {
+				done, err = m.Fsync(issue, fd)
+			}
+		case workload.OpMkdir:
+			done, err = m.Mkdir(issue, rec.Path)
+		case workload.OpReadDir:
+			_, done, err = m.ReadDir(issue, rec.Path)
+		case workload.OpOpen:
+			_, done, err = openOrCreate(issue, rec.Path)
+			if done < issue {
+				done = issue
+			}
+		case workload.OpClose, workload.OpThink:
+			done = issue
+		default:
+			return res, fmt.Errorf("trace: record %d has unreplayable kind %v", i, rec.Kind)
+		}
+		if err != nil {
+			res.Errors++
+			now = issue + sim.Microsecond
+			continue
+		}
+		if done < issue {
+			done = issue
+		}
+		res.Hist.Record(done - issue)
+		res.Ops++
+		now = done
+	}
+	res.End = now
+	return res, nil
+}

@@ -1,0 +1,339 @@
+// Package vfs assembles a device, a page-cache hierarchy, and a
+// file-system model into a mountable stack with POSIX-shaped
+// operations under virtual time.
+//
+// Every operation takes the virtual time at which it is issued and
+// returns the virtual time at which it completes; the difference is
+// the operation's latency, which the paper's Figures 3 and 4 histogram.
+// Reads consult the cache hierarchy per page; misses resolve the block
+// mapping through the file system (charging metadata I/O through the
+// same cache) and read the device. Writes dirty cache pages; a
+// write-back flusher issues elevator-sorted batches asynchronously —
+// they do not add to the triggering operation's latency but they do
+// keep the device busy, delaying subsequent misses, exactly the
+// coupling that makes "simple" benchmarks fragile.
+package vfs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/device"
+	"repro/internal/fs"
+	"repro/internal/sim"
+)
+
+// sectorsPerBlock converts file-system blocks to device sectors.
+const sectorsPerBlock = int64(fs.BlockSize / device.SectorSize)
+
+// Config tunes the software costs of the stack.
+type Config struct {
+	// SyscallOverhead is charged once per VFS operation (entry,
+	// argument checking, fd lookup).
+	SyscallOverhead sim.Time
+	// HitPerPage is the cost of delivering one resident page
+	// (lookup + copy to the user buffer).
+	HitPerPage sim.Time
+	// L2HitPerPage is the cost of promoting and delivering a page
+	// from the flash tier.
+	L2HitPerPage sim.Time
+	// DirtyRatio triggers write-back when dirty pages exceed this
+	// fraction of L1 capacity.
+	DirtyRatio float64
+	// WritebackBatch is the number of pages flushed per write-back
+	// round.
+	WritebackBatch int
+	// AtimeUpdates enables access-time maintenance on reads (the
+	// 2011-era default; relatime arrived later).
+	AtimeUpdates bool
+	// Readahead overrides the file system's hint when non-nil.
+	Readahead cache.Readahead
+}
+
+// DefaultConfig returns costs calibrated to a 2.8 GHz Xeon of the
+// paper's era.
+func DefaultConfig() Config {
+	return Config{
+		SyscallOverhead: 2 * sim.Microsecond,
+		HitPerPage:      1500 * sim.Nanosecond,
+		L2HitPerPage:    90 * sim.Microsecond,
+		DirtyRatio:      0.20,
+		WritebackBatch:  256,
+		AtimeUpdates:    true,
+	}
+}
+
+// Stats counts VFS-level events.
+type Stats struct {
+	Reads, Writes, Creates, Unlinks, Stats, Opens, Fsyncs, Mkdirs, ReadDirs int64
+	BytesRead, BytesWritten                                                 int64
+	DentryHits, DentryMisses                                                int64
+	WritebackRounds, WritebackPages                                         int64
+}
+
+// Mount is a mounted stack. Not safe for concurrent use; the workload
+// engine serializes operations in virtual-time order.
+type Mount struct {
+	FS  fs.FileSystem
+	Dev device.Device
+	PC  *cache.Hierarchy
+	cfg Config
+	ra  cache.Readahead
+
+	dcache  map[string]fs.Ino
+	sizes   map[fs.Ino]int64 // cached file sizes (inode cache)
+	stats   Stats
+	scratch []cache.PageID // reusable buffer for dirty collection
+}
+
+// New mounts filesystem fsys on dev behind the cache hierarchy pc.
+func New(fsys fs.FileSystem, dev device.Device, pc *cache.Hierarchy, cfg Config) *Mount {
+	if cfg.WritebackBatch <= 0 {
+		cfg.WritebackBatch = 256
+	}
+	m := &Mount{
+		FS:     fsys,
+		Dev:    dev,
+		PC:     pc,
+		cfg:    cfg,
+		dcache: make(map[string]fs.Ino),
+		sizes:  make(map[fs.Ino]int64),
+	}
+	if cfg.Readahead != nil {
+		m.ra = cfg.Readahead
+	} else {
+		init, max := fsys.ReadaheadHint()
+		m.ra = cache.NewAdaptiveReadahead(init, max)
+	}
+	return m
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Mount) Stats() Stats { return m.stats }
+
+// ResetStats zeroes VFS, cache, and device counters (between
+// benchmark phases).
+func (m *Mount) ResetStats() {
+	m.stats = Stats{}
+	m.PC.L1.ResetStats()
+	if m.PC.L2 != nil {
+		m.PC.L2.ResetStats()
+	}
+	m.Dev.ResetStats()
+}
+
+// Readahead exposes the active readahead policy.
+func (m *Mount) Readahead() cache.Readahead { return m.ra }
+
+// blockLBA converts a file-system block number to a device LBA.
+func blockLBA(block int64) int64 { return block * sectorsPerBlock }
+
+// readBlock reads one metadata block through the cache, returning the
+// completion time.
+func (m *Mount) readBlock(at sim.Time, block int64) (sim.Time, error) {
+	id := fs.MetaPage(block)
+	if m.PC.Lookup(id) != cache.Miss {
+		return at + m.cfg.HitPerPage, nil
+	}
+	done, err := m.Dev.Submit(at, device.Request{Op: device.Read, LBA: blockLBA(block), Sectors: sectorsPerBlock})
+	if err != nil {
+		return at, err
+	}
+	m.writebackEvictions(done, m.PC.Insert(id, false))
+	return done, nil
+}
+
+// execSteps executes metadata IOSteps at the given time. Reads block
+// the operation; deferred writes dirty cache pages; sync writes go to
+// the device, added to the operation's latency when chargeSync is
+// true and issued asynchronously otherwise.
+func (m *Mount) execSteps(at sim.Time, steps []fs.IOStep, chargeSync bool) (sim.Time, error) {
+	now := at
+	for _, s := range steps {
+		switch {
+		case !s.Write:
+			var err error
+			now, err = m.readBlock(now, s.Block)
+			if err != nil {
+				return now, err
+			}
+		case s.Sync:
+			done, err := m.Dev.Submit(now, device.Request{Op: device.Write, LBA: blockLBA(s.Block), Sectors: sectorsPerBlock})
+			if err != nil {
+				return now, err
+			}
+			if chargeSync {
+				now = done
+			}
+		default:
+			id := fs.MetaPage(s.Block)
+			if !m.PC.MarkDirty(id) {
+				m.writebackEvictions(now, m.PC.Insert(id, true))
+			}
+			now += m.cfg.HitPerPage / 4 // in-memory metadata update
+		}
+	}
+	return now, nil
+}
+
+// writebackEvictions asynchronously writes dirty pages evicted from
+// the cache. The triggering operation does not wait, but the device
+// does the work.
+func (m *Mount) writebackEvictions(at sim.Time, evicted []cache.Evicted) {
+	for _, ev := range evicted {
+		if !ev.Dirty {
+			continue
+		}
+		lba, ok := m.pageLBA(ev.ID)
+		if !ok {
+			continue
+		}
+		m.Dev.Submit(at, device.Request{Op: device.Write, LBA: lba, Sectors: sectorsPerBlock})
+	}
+}
+
+// pageLBA resolves a cache page to its device address: metadata pages
+// encode the block directly; data pages resolve through the file
+// system's map (without charging metadata reads — the mapping was
+// resolved when the page entered the cache).
+func (m *Mount) pageLBA(id cache.PageID) (int64, bool) {
+	if id.File&fs.MetaFileBit != 0 {
+		return blockLBA(id.Index), true
+	}
+	exts, _, err := m.FS.Map(fs.Ino(id.File), id.Index, 1)
+	if err != nil || len(exts) == 0 {
+		return 0, false
+	}
+	return blockLBA(exts[0].DiskBlock), true
+}
+
+// maybeWriteback runs the background flusher when the dirty ratio is
+// exceeded: collect a batch, sort by LBA (the elevator), issue
+// asynchronously, mark clean.
+func (m *Mount) maybeWriteback(at sim.Time) {
+	l1 := m.PC.L1
+	if l1.Capacity() == 0 {
+		return
+	}
+	threshold := int(m.cfg.DirtyRatio * float64(l1.Capacity()))
+	if threshold < 1 {
+		threshold = 1
+	}
+	if l1.DirtyCount() < threshold {
+		return
+	}
+	m.scratch = m.scratch[:0]
+	m.scratch = l1.CollectDirty(m.scratch, m.cfg.WritebackBatch)
+	reqs := make([]device.Request, 0, len(m.scratch))
+	flushed := make([]cache.PageID, 0, len(m.scratch))
+	for _, id := range m.scratch {
+		lba, ok := m.pageLBA(id)
+		if !ok {
+			l1.Clean(id) // unmappable page: drop the dirty bit
+			continue
+		}
+		reqs = append(reqs, device.Request{Op: device.Write, LBA: lba, Sectors: sectorsPerBlock})
+		flushed = append(flushed, id)
+	}
+	if len(reqs) == 0 {
+		return
+	}
+	device.SubmitBatch(m.Dev, at, reqs)
+	for _, id := range flushed {
+		l1.Clean(id)
+	}
+	m.stats.WritebackRounds++
+	m.stats.WritebackPages += int64(len(flushed))
+}
+
+// SyncAll flushes every dirty page and the file-system journal,
+// returning when the device is quiet. Benchmarks call it between
+// phases so one phase's deferred work is not charged to the next.
+func (m *Mount) SyncAll(at sim.Time) (sim.Time, error) {
+	l1 := m.PC.L1
+	ids := l1.CollectDirty(nil, 0)
+	reqs := make([]device.Request, 0, len(ids))
+	for _, id := range ids {
+		lba, ok := m.pageLBA(id)
+		if !ok {
+			l1.Clean(id)
+			continue
+		}
+		reqs = append(reqs, device.Request{Op: device.Write, LBA: lba, Sectors: sectorsPerBlock})
+	}
+	done := at
+	if len(reqs) > 0 {
+		var err error
+		done, err = device.SubmitBatch(m.Dev, at, reqs)
+		if err != nil {
+			return done, err
+		}
+	}
+	for _, id := range ids {
+		l1.Clean(id)
+	}
+	return done, nil
+}
+
+// --- Path resolution -------------------------------------------------
+
+// splitPath splits "/a/b/c" into components; "" and "/" mean the root.
+func splitPath(path string) []string {
+	path = strings.Trim(path, "/")
+	if path == "" {
+		return nil
+	}
+	return strings.Split(path, "/")
+}
+
+// resolve walks path to an inode, charging lookup I/O for components
+// missing from the dentry cache.
+func (m *Mount) resolve(at sim.Time, path string) (fs.Ino, sim.Time, error) {
+	if ino, ok := m.dcache[path]; ok {
+		m.stats.DentryHits++
+		return ino, at + m.cfg.HitPerPage/4, nil
+	}
+	m.stats.DentryMisses++
+	parts := splitPath(path)
+	ino := m.FS.Root()
+	now := at
+	prefix := ""
+	for _, part := range parts {
+		prefix += "/" + part
+		if cached, ok := m.dcache[prefix]; ok {
+			ino = cached
+			continue
+		}
+		next, steps, err := m.FS.Lookup(ino, part)
+		if err != nil {
+			return 0, now, fmt.Errorf("resolve %q: %w", path, err)
+		}
+		now, err = m.execSteps(now, steps, false)
+		if err != nil {
+			return 0, now, err
+		}
+		m.dcache[prefix] = next
+		ino = next
+	}
+	if path != "" && path != "/" {
+		m.dcache["/"+strings.Trim(path, "/")] = ino
+	}
+	return ino, now, nil
+}
+
+// parentOf splits a path into its parent directory inode and leaf
+// name.
+func (m *Mount) parentOf(at sim.Time, path string) (fs.Ino, string, sim.Time, error) {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return 0, "", at, fmt.Errorf("vfs: empty path: %w", fs.ErrNotExist)
+	}
+	name := parts[len(parts)-1]
+	parentPath := "/" + strings.Join(parts[:len(parts)-1], "/")
+	ino, now, err := m.resolve(at, parentPath)
+	if err != nil {
+		return 0, "", now, err
+	}
+	return ino, name, now, nil
+}

@@ -1,0 +1,483 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/fs"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Probe receives per-operation measurements. Any field may be nil.
+// Latency excludes the tool's PerOpOverhead — it is the file-system
+// call the paper's histograms show, not the benchmark loop around it.
+type Probe struct {
+	Series   *metrics.TimeSeries        // op completion counts over time
+	Hist     *metrics.Histogram         // op latency distribution
+	Timeline *metrics.HistogramTimeline // latency histograms over time
+	// HistSince limits Hist recording to operations completing at or
+	// after this virtual time (the paper's "report only the last
+	// minute" steady-state protocol).
+	HistSince sim.Time
+	// Kinds limits recording to the given op kinds (nil = all).
+	Kinds map[OpKind]bool
+	// Trace, when non-nil, receives every operation with its target
+	// and byte range — the hook the trace recorder attaches to.
+	Trace func(kind OpKind, path string, offset, size int64, start, done sim.Time)
+}
+
+func (p *Probe) record(kind OpKind, path string, offset, size int64, start, done sim.Time) {
+	if p == nil {
+		return
+	}
+	if p.Trace != nil {
+		p.Trace(kind, path, offset, size, start, done)
+	}
+	if p.Kinds != nil && !p.Kinds[kind] {
+		return
+	}
+	if p.Series != nil {
+		p.Series.Add(done, 1)
+	}
+	lat := done - start
+	if p.Hist != nil && done >= p.HistSince {
+		p.Hist.Record(lat)
+	}
+	if p.Timeline != nil {
+		p.Timeline.Record(done, lat)
+	}
+}
+
+// fsState tracks a fileset's live files during a run.
+type fsState struct {
+	spec    FileSet
+	names   []string // existing file paths (index-addressable)
+	nextNew int      // counter for fresh names
+	zipf    *sim.Zipf
+}
+
+// threadState is one virtual thread.
+type threadState struct {
+	spec    *ThreadSpec
+	now     sim.Time
+	opIdx   int
+	iter    int
+	cursors map[string]int64 // sequential-read cursors per fileset
+	fds     map[string]*vfs.FD
+	rng     *sim.RNG
+}
+
+// Engine runs one Workload against one Mount under virtual time.
+type Engine struct {
+	m       *vfs.Mount
+	w       *Workload
+	rng     *sim.RNG
+	sets    map[string]*fsState
+	threads []*threadState
+	probe   *Probe
+	counter metrics.Counter
+}
+
+// NewEngine prepares (but does not set up) an engine. The workload
+// must validate.
+func NewEngine(m *vfs.Mount, w *Workload, seed uint64) (*Engine, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{m: m, w: w, rng: sim.NewRNG(seed), sets: make(map[string]*fsState)}
+	for i := range w.FileSets {
+		spec := w.FileSets[i]
+		st := &fsState{spec: spec}
+		if spec.Entries > 1 {
+			st.zipf = sim.NewZipf(e.rng.Split(), int64(spec.Entries), 1.1)
+		}
+		e.sets[spec.Name] = st
+	}
+	for ti := range w.Threads {
+		spec := &w.Threads[ti]
+		for c := 0; c < spec.Count; c++ {
+			e.threads = append(e.threads, &threadState{
+				spec:    spec,
+				cursors: make(map[string]int64),
+				fds:     make(map[string]*vfs.FD),
+				rng:     e.rng.Split(),
+			})
+		}
+	}
+	return e, nil
+}
+
+// SetProbe installs the measurement probe.
+func (e *Engine) SetProbe(p *Probe) { e.probe = p }
+
+// Counter reports op totals accumulated so far.
+func (e *Engine) Counter() metrics.Counter { return e.counter }
+
+// Mount exposes the mount under test.
+func (e *Engine) Mount() *vfs.Mount { return e.m }
+
+// Setup creates the filesets (directories, preallocated files) and
+// flushes all dirty state so the measured phase starts from a clean,
+// quiescent device. It returns the virtual time when setup finished.
+func (e *Engine) Setup(at sim.Time) (sim.Time, error) {
+	now := at
+	for _, name := range e.setNamesSorted() {
+		st := e.sets[name]
+		spec := st.spec
+		if spec.Dir != "" && spec.Dir != "/" {
+			// mkdir -p: create every missing component.
+			parts := strings.Split(strings.Trim(spec.Dir, "/"), "/")
+			prefix := ""
+			for _, part := range parts {
+				prefix += "/" + part
+				done, err := e.m.Mkdir(now, prefix)
+				if err != nil && !errors.Is(err, fs.ErrExist) {
+					return now, fmt.Errorf("setup fileset %s: %w", name, err)
+				}
+				if err == nil {
+					now = done
+				}
+			}
+		}
+		prealloc := int(float64(spec.Entries)*spec.PreallocFrac + 0.5)
+		for i := 0; i < prealloc; i++ {
+			path := filePath(spec.Dir, name, i)
+			fd, done, err := e.m.Create(now, path)
+			if err != nil {
+				return now, fmt.Errorf("setup fileset %s: %w", name, err)
+			}
+			now = done
+			size := e.fileSize(st)
+			if size > 0 {
+				done, err = e.m.Write(now, fd, 0, size)
+				if err != nil {
+					return now, fmt.Errorf("setup fileset %s: %w", name, err)
+				}
+				now = done
+			}
+			st.names = append(st.names, path)
+		}
+		st.nextNew = prealloc
+	}
+	done, err := e.m.SyncAll(now)
+	if err != nil {
+		return now, err
+	}
+	return done, nil
+}
+
+// setNamesSorted keeps setup deterministic across map iteration.
+func (e *Engine) setNamesSorted() []string {
+	names := make([]string, 0, len(e.sets))
+	for _, fsSet := range e.w.FileSets {
+		names = append(names, fsSet.Name)
+	}
+	return names
+}
+
+// fileSize draws a file size from the fileset's distribution.
+func (e *Engine) fileSize(st *fsState) int64 {
+	if st.spec.ParetoAlpha <= 0 {
+		return st.spec.MeanSize
+	}
+	// Pareto with mean m and shape a has xm = m(a-1)/a.
+	a := st.spec.ParetoAlpha
+	xm := float64(st.spec.MeanSize) * (a - 1) / a
+	if xm < 1 {
+		xm = 1
+	}
+	size := int64(e.rng.Pareto(xm, a))
+	// Clip the tail at 64x the mean so one draw cannot fill the disk.
+	if max := st.spec.MeanSize * 64; size > max {
+		size = max
+	}
+	return size
+}
+
+func filePath(dir, set string, i int) string {
+	if dir == "" || dir == "/" {
+		return fmt.Sprintf("/%s-%05d", set, i)
+	}
+	return fmt.Sprintf("%s/%s-%05d", dir, set, i)
+}
+
+// DropCaches empties the page cache and per-file readahead state —
+// the cold-start condition of the paper's Figure 2 experiment.
+func (e *Engine) DropCaches() {
+	e.m.PC.L1.Flush()
+	if e.m.PC.L2 != nil {
+		e.m.PC.L2.Flush()
+	}
+}
+
+// Run executes the workload from time `from` until every thread's
+// clock passes `until`. It returns the final virtual time (max over
+// threads).
+func (e *Engine) Run(from, until sim.Time) (sim.Time, error) {
+	for _, th := range e.threads {
+		th.now = from
+	}
+	for {
+		// Pick the thread with the earliest clock still inside the
+		// run window.
+		var next *threadState
+		for _, th := range e.threads {
+			if th.now >= until {
+				continue
+			}
+			if next == nil || th.now < next.now {
+				next = th
+			}
+		}
+		if next == nil {
+			break
+		}
+		if err := e.step(next); err != nil {
+			return next.now, err
+		}
+	}
+	var end sim.Time
+	for _, th := range e.threads {
+		if th.now > end {
+			end = th.now
+		}
+	}
+	return end, nil
+}
+
+// step executes one flowop on one thread, advancing its clock.
+func (e *Engine) step(th *threadState) error {
+	op := th.spec.Flowops[th.opIdx]
+	iters := op.Iters
+	if iters <= 0 {
+		iters = 1
+	}
+	err := e.execOp(th, op)
+	th.iter++
+	if th.iter >= iters {
+		th.iter = 0
+		th.opIdx++
+		if th.opIdx >= len(th.spec.Flowops) {
+			th.opIdx = 0
+		}
+	}
+	return err
+}
+
+// pickExisting selects a live file, uniform or Zipf.
+func (e *Engine) pickExisting(th *threadState, st *fsState, zipf bool) (string, bool) {
+	n := len(st.names)
+	if n == 0 {
+		return "", false
+	}
+	var idx int
+	if zipf && st.zipf != nil {
+		idx = int(st.zipf.Next()) % n
+	} else {
+		idx = th.rng.Intn(n)
+	}
+	return st.names[idx], true
+}
+
+// openFD returns (opening if needed) the thread's handle for path.
+func (e *Engine) openFD(th *threadState, path string) (*vfs.FD, error) {
+	if fd, ok := th.fds[path]; ok {
+		return fd, nil
+	}
+	fd, done, err := e.m.Open(th.now, path)
+	if err != nil {
+		return nil, err
+	}
+	th.now = done
+	th.fds[path] = fd
+	return fd, nil
+}
+
+// execOp performs one flowop instance. Errors of the benign kind
+// (create racing delete within the workload's own churn) are counted,
+// not fatal.
+func (e *Engine) execOp(th *threadState, op Flowop) error {
+	start := th.now + th.spec.PerOpOverhead
+	if op.Kind == OpThink {
+		th.now = start + op.Think
+		return nil
+	}
+	st := e.sets[op.FileSet]
+	var done sim.Time
+	var err error
+	var tPath string
+	var tOff int64
+	switch op.Kind {
+	case OpReadRand, OpReadSeq, OpReadWholeFile:
+		path, ok := e.pickExisting(th, st, op.Zipf)
+		if !ok {
+			th.now = start
+			return nil
+		}
+		var fd *vfs.FD
+		th.now = start
+		fd, err = e.openFD(th, path)
+		if err != nil {
+			break
+		}
+		start = th.now
+		tPath = path
+		switch op.Kind {
+		case OpReadRand:
+			size := fd.Size()
+			if size <= op.IOSize {
+				_, done, err = e.m.Read(start, fd, 0, op.IOSize)
+				break
+			}
+			slots := (size - op.IOSize) / op.IOSize
+			off := th.rng.Int63n(slots+1) * op.IOSize
+			tOff = off
+			_, done, err = e.m.Read(start, fd, off, op.IOSize)
+		case OpReadSeq:
+			cur := th.cursors[path]
+			if cur >= fd.Size() {
+				cur = 0
+			}
+			tOff = cur
+			_, done, err = e.m.Read(start, fd, cur, op.IOSize)
+			th.cursors[path] = cur + op.IOSize
+		case OpReadWholeFile:
+			now := start
+			var n int64
+			for off := int64(0); off < fd.Size(); off += op.IOSize {
+				n, now, err = e.m.Read(now, fd, off, op.IOSize)
+				if err != nil || n == 0 {
+					break
+				}
+			}
+			done = now
+		}
+	case OpWriteRand, OpWriteSeq, OpAppend:
+		path, ok := e.pickExisting(th, st, op.Zipf)
+		if !ok {
+			th.now = start
+			return nil
+		}
+		var fd *vfs.FD
+		th.now = start
+		fd, err = e.openFD(th, path)
+		if err != nil {
+			break
+		}
+		start = th.now
+		tPath = path
+		switch op.Kind {
+		case OpWriteRand:
+			size := fd.Size()
+			var off int64
+			if size > op.IOSize {
+				off = th.rng.Int63n((size-op.IOSize)/op.IOSize+1) * op.IOSize
+			}
+			tOff = off
+			done, err = e.m.Write(start, fd, off, op.IOSize)
+		case OpWriteSeq:
+			cur := th.cursors[path]
+			if cur >= fd.Size() {
+				cur = 0
+			}
+			tOff = cur
+			done, err = e.m.Write(start, fd, cur, op.IOSize)
+			th.cursors[path] = cur + op.IOSize
+		case OpAppend:
+			tOff = fd.Size()
+			done, err = e.m.Write(start, fd, fd.Size(), op.IOSize)
+		}
+	case OpCreate:
+		path := filePath(st.spec.Dir, st.spec.Name, st.nextNew)
+		tPath = path
+		st.nextNew++
+		var fd *vfs.FD
+		fd, done, err = e.m.Create(start, path)
+		if err == nil {
+			st.names = append(st.names, path)
+			if st.spec.MeanSize > 0 {
+				done, err = e.m.Write(done, fd, 0, e.fileSize(st))
+			}
+		}
+	case OpDelete:
+		if len(st.names) == 0 {
+			th.now = start
+			return nil
+		}
+		idx := th.rng.Intn(len(st.names))
+		path := st.names[idx]
+		tPath = path
+		st.names[idx] = st.names[len(st.names)-1]
+		st.names = st.names[:len(st.names)-1]
+		for _, t := range e.threads {
+			delete(t.fds, path)
+			delete(t.cursors, path)
+		}
+		done, err = e.m.Unlink(start, path)
+	case OpStat:
+		path, ok := e.pickExisting(th, st, op.Zipf)
+		if !ok {
+			th.now = start
+			return nil
+		}
+		tPath = path
+		_, done, err = e.m.Stat(start, path)
+	case OpOpen:
+		path, ok := e.pickExisting(th, st, op.Zipf)
+		if !ok {
+			th.now = start
+			return nil
+		}
+		th.now = start
+		_, err = e.openFD(th, path)
+		done = th.now
+	case OpClose:
+		for path, fd := range th.fds {
+			e.m.Close(fd)
+			delete(th.fds, path)
+			break
+		}
+		done = start
+	case OpFsync:
+		var target *vfs.FD
+		for _, fd := range th.fds {
+			target = fd
+			break
+		}
+		if target == nil {
+			th.now = start
+			return nil
+		}
+		done, err = e.m.Fsync(start, target)
+	case OpMkdir:
+		path := fmt.Sprintf("%s/d-%06d", st.spec.Dir, st.nextNew)
+		st.nextNew++
+		done, err = e.m.Mkdir(start, path)
+	case OpReadDir:
+		dir := st.spec.Dir
+		if dir == "" {
+			dir = "/"
+		}
+		_, done, err = e.m.ReadDir(start, dir)
+	default:
+		return fmt.Errorf("workload: unimplemented op %v", op.Kind)
+	}
+	if err != nil {
+		e.counter.Errors++
+		// Benign errors advance time minimally and continue; the
+		// engine is a load generator, not a correctness checker.
+		th.now = start + sim.Microsecond
+		return nil
+	}
+	if done < start {
+		done = start
+	}
+	e.counter.Ops++
+	e.counter.Bytes += op.IOSize
+	e.probe.record(op.Kind, tPath, tOff, op.IOSize, start, done)
+	th.now = done
+	return nil
+}

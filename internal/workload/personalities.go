@@ -1,0 +1,220 @@
+package workload
+
+import "repro/internal/sim"
+
+// This file provides the stock personalities. RandomRead is the
+// paper's case-study workload; the rest are the Filebench-style mixes
+// the surveyed papers actually run, so that the harness can exercise
+// every file-system dimension in Table 1's terms.
+
+// RandomRead is the paper's §3 workload: `threads` threads issuing
+// random ioSize reads from a single file of fileSize bytes.
+func RandomRead(fileSize, ioSize int64, threads int) *Workload {
+	return &Workload{
+		Name: "randomread",
+		FileSets: []FileSet{{
+			Name: "data", Dir: "/data", Entries: 1,
+			MeanSize: fileSize, PreallocFrac: 1,
+		}},
+		Threads: []ThreadSpec{{
+			Name: "reader", Count: threads, PerOpOverhead: DefaultPerOpOverhead,
+			Flowops: []Flowop{{Kind: OpReadRand, FileSet: "data", IOSize: ioSize}},
+		}},
+	}
+}
+
+// SequentialRead scans a single file of fileSize bytes in ioSize
+// units.
+func SequentialRead(fileSize, ioSize int64, threads int) *Workload {
+	return &Workload{
+		Name: "seqread",
+		FileSets: []FileSet{{
+			Name: "data", Dir: "/data", Entries: 1,
+			MeanSize: fileSize, PreallocFrac: 1,
+		}},
+		Threads: []ThreadSpec{{
+			Name: "reader", Count: threads, PerOpOverhead: DefaultPerOpOverhead,
+			Flowops: []Flowop{{Kind: OpReadSeq, FileSet: "data", IOSize: ioSize}},
+		}},
+	}
+}
+
+// RandomWrite overwrites random ioSize blocks of a preallocated file.
+func RandomWrite(fileSize, ioSize int64, threads int) *Workload {
+	return &Workload{
+		Name: "randomwrite",
+		FileSets: []FileSet{{
+			Name: "data", Dir: "/data", Entries: 1,
+			MeanSize: fileSize, PreallocFrac: 1,
+		}},
+		Threads: []ThreadSpec{{
+			Name: "writer", Count: threads, PerOpOverhead: DefaultPerOpOverhead,
+			Flowops: []Flowop{{Kind: OpWriteRand, FileSet: "data", IOSize: ioSize}},
+		}},
+	}
+}
+
+// SequentialWrite appends to a file in ioSize units.
+func SequentialWrite(ioSize int64, threads int) *Workload {
+	return &Workload{
+		Name: "seqwrite",
+		FileSets: []FileSet{{
+			Name: "data", Dir: "/data", Entries: 1, MeanSize: 0, PreallocFrac: 1,
+		}},
+		Threads: []ThreadSpec{{
+			Name: "writer", Count: threads, PerOpOverhead: DefaultPerOpOverhead,
+			Flowops: []Flowop{{Kind: OpAppend, FileSet: "data", IOSize: ioSize}},
+		}},
+	}
+}
+
+// CreateDelete is the pure metadata churn personality: create a small
+// file, stat it, delete one.
+func CreateDelete(fileSize int64, threads int) *Workload {
+	return &Workload{
+		Name: "createdelete",
+		FileSets: []FileSet{{
+			Name: "churn", Dir: "/churn", Entries: 100000,
+			MeanSize: fileSize, PreallocFrac: 0.0005,
+		}},
+		Threads: []ThreadSpec{{
+			Name: "churner", Count: threads, PerOpOverhead: DefaultPerOpOverhead,
+			Flowops: []Flowop{
+				{Kind: OpCreate, FileSet: "churn"},
+				{Kind: OpStat, FileSet: "churn"},
+				{Kind: OpDelete, FileSet: "churn"},
+			},
+		}},
+	}
+}
+
+// WebServer models the classic Filebench personality: many readers
+// fetching whole (Zipf-popular) small files plus one log appender.
+func WebServer(files int, meanFileSize int64, readers int) *Workload {
+	return &Workload{
+		Name: "webserver",
+		FileSets: []FileSet{
+			{Name: "docs", Dir: "/htdocs", Entries: files,
+				MeanSize: meanFileSize, ParetoAlpha: 1.5, PreallocFrac: 1},
+			{Name: "log", Dir: "/logs", Entries: 1, MeanSize: 0, PreallocFrac: 1},
+		},
+		Threads: []ThreadSpec{
+			{
+				Name: "httpd", Count: readers, PerOpOverhead: DefaultPerOpOverhead,
+				Flowops: []Flowop{
+					{Kind: OpReadWholeFile, FileSet: "docs", IOSize: 64 << 10, Zipf: true},
+				},
+			},
+			{
+				Name: "logger", Count: 1, PerOpOverhead: DefaultPerOpOverhead,
+				Flowops: []Flowop{
+					{Kind: OpAppend, FileSet: "log", IOSize: 4 << 10},
+					{Kind: OpThink, Think: 10 * sim.Millisecond},
+				},
+			},
+		},
+	}
+}
+
+// FileServer is the mixed-ops personality: create/write/read/stat/
+// delete over a large fileset (Filebench's fileserver, SPECsfs's
+// spirit).
+func FileServer(files int, meanFileSize int64, threads int) *Workload {
+	return &Workload{
+		Name: "fileserver",
+		FileSets: []FileSet{{
+			Name: "share", Dir: "/share", Entries: files,
+			MeanSize: meanFileSize, ParetoAlpha: 1.3, PreallocFrac: 0.8,
+		}},
+		Threads: []ThreadSpec{{
+			Name: "nfsd", Count: threads, PerOpOverhead: DefaultPerOpOverhead,
+			Flowops: []Flowop{
+				{Kind: OpCreate, FileSet: "share"},
+				{Kind: OpWriteSeq, FileSet: "share", IOSize: 64 << 10},
+				{Kind: OpReadWholeFile, FileSet: "share", IOSize: 64 << 10},
+				{Kind: OpStat, FileSet: "share", Iters: 2},
+				{Kind: OpDelete, FileSet: "share"},
+			},
+		}},
+	}
+}
+
+// VarMail is the Postmark-descendant mail-server personality:
+// create + fsync + read + delete of many small files.
+func VarMail(files int, meanFileSize int64, threads int) *Workload {
+	return &Workload{
+		Name: "varmail",
+		FileSets: []FileSet{{
+			Name: "mail", Dir: "/var/mail", Entries: files,
+			MeanSize: meanFileSize, ParetoAlpha: 1.5, PreallocFrac: 0.5,
+		}},
+		Threads: []ThreadSpec{{
+			Name: "mta", Count: threads, PerOpOverhead: DefaultPerOpOverhead,
+			Flowops: []Flowop{
+				{Kind: OpCreate, FileSet: "mail"},
+				{Kind: OpFsync, FileSet: "mail"},
+				{Kind: OpReadWholeFile, FileSet: "mail", IOSize: 16 << 10},
+				{Kind: OpDelete, FileSet: "mail"},
+			},
+		}},
+	}
+}
+
+// OLTP is the database-page personality: random reads and writes of
+// dbSize across a big table file with periodic log fsync.
+func OLTP(dbSize int64, threads int) *Workload {
+	return &Workload{
+		Name: "oltp",
+		FileSets: []FileSet{
+			{Name: "table", Dir: "/db", Entries: 1, MeanSize: dbSize, PreallocFrac: 1},
+			{Name: "wal", Dir: "/db-log", Entries: 1, MeanSize: 0, PreallocFrac: 1},
+		},
+		Threads: []ThreadSpec{
+			{
+				Name: "query", Count: threads, PerOpOverhead: DefaultPerOpOverhead,
+				Flowops: []Flowop{
+					{Kind: OpReadRand, FileSet: "table", IOSize: 8 << 10, Iters: 8},
+					{Kind: OpWriteRand, FileSet: "table", IOSize: 8 << 10},
+				},
+			},
+			{
+				Name: "logwriter", Count: 1, PerOpOverhead: DefaultPerOpOverhead,
+				Flowops: []Flowop{
+					{Kind: OpAppend, FileSet: "wal", IOSize: 32 << 10},
+					{Kind: OpFsync, FileSet: "wal"},
+				},
+			},
+		},
+	}
+}
+
+// Personalities lists the stock constructors by name for CLI use.
+func Personalities() []string {
+	return []string{"randomread", "seqread", "randomwrite", "seqwrite",
+		"createdelete", "webserver", "fileserver", "varmail", "oltp"}
+}
+
+// ByName builds a stock personality with representative defaults.
+func ByName(name string) (*Workload, bool) {
+	switch name {
+	case "randomread":
+		return RandomRead(410<<20, 2<<10, 1), true
+	case "seqread":
+		return SequentialRead(410<<20, 64<<10, 1), true
+	case "randomwrite":
+		return RandomWrite(410<<20, 2<<10, 1), true
+	case "seqwrite":
+		return SequentialWrite(64<<10, 1), true
+	case "createdelete":
+		return CreateDelete(16<<10, 1), true
+	case "webserver":
+		return WebServer(1000, 32<<10, 4), true
+	case "fileserver":
+		return FileServer(1000, 128<<10, 4), true
+	case "varmail":
+		return VarMail(1000, 16<<10, 2), true
+	case "oltp":
+		return OLTP(256<<20, 4), true
+	}
+	return nil, false
+}

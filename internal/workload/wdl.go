@@ -1,0 +1,258 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// This file implements WDL, a small Filebench-flavored workload
+// description language, so workloads can live in version-controlled
+// text files next to the results they produced — one of the
+// disclosure practices the paper asks for.
+//
+//	workload randomread
+//	fileset data dir=/data entries=1 size=410m prealloc=1.0
+//	thread reader count=1 overhead=96us {
+//	    read-rand fileset=data iosize=2k
+//	    think 10ms
+//	}
+//
+// Lines are '#'-commented; sizes accept k/m/g suffixes; durations
+// accept ns/us/ms/s.
+
+// ParseWDL reads a workload description.
+func ParseWDL(r io.Reader) (*Workload, error) {
+	w := &Workload{}
+	var curThread *ThreadSpec
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		errf := func(format string, args ...interface{}) error {
+			return fmt.Errorf("wdl line %d: %s", lineno, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case curThread != nil:
+			if fields[0] == "}" {
+				w.Threads = append(w.Threads, *curThread)
+				curThread = nil
+				continue
+			}
+			op, err := parseFlowop(fields)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			curThread.Flowops = append(curThread.Flowops, op)
+		case fields[0] == "workload":
+			if len(fields) != 2 {
+				return nil, errf("workload needs a name")
+			}
+			w.Name = fields[1]
+		case fields[0] == "fileset":
+			if len(fields) < 2 {
+				return nil, errf("fileset needs a name")
+			}
+			fsSet := FileSet{Name: fields[1], Entries: 1}
+			for _, kv := range fields[2:] {
+				k, v, ok := cut(kv)
+				if !ok {
+					return nil, errf("bad attribute %q", kv)
+				}
+				var err error
+				switch k {
+				case "dir":
+					fsSet.Dir = v
+				case "entries":
+					fsSet.Entries, err = strconv.Atoi(v)
+				case "size":
+					fsSet.MeanSize, err = ParseSize(v)
+				case "prealloc":
+					fsSet.PreallocFrac, err = strconv.ParseFloat(v, 64)
+				case "pareto":
+					fsSet.ParetoAlpha, err = strconv.ParseFloat(v, 64)
+				default:
+					return nil, errf("unknown fileset attribute %q", k)
+				}
+				if err != nil {
+					return nil, errf("attribute %s: %v", k, err)
+				}
+			}
+			w.FileSets = append(w.FileSets, fsSet)
+		case fields[0] == "thread":
+			if len(fields) < 2 {
+				return nil, errf("thread needs a name")
+			}
+			th := ThreadSpec{Name: fields[1], Count: 1, PerOpOverhead: DefaultPerOpOverhead}
+			rest := fields[2:]
+			if len(rest) > 0 && rest[len(rest)-1] == "{" {
+				rest = rest[:len(rest)-1]
+			} else {
+				return nil, errf("thread block must open with '{'")
+			}
+			for _, kv := range rest {
+				k, v, ok := cut(kv)
+				if !ok {
+					return nil, errf("bad attribute %q", kv)
+				}
+				var err error
+				switch k {
+				case "count":
+					th.Count, err = strconv.Atoi(v)
+				case "overhead":
+					th.PerOpOverhead, err = ParseDuration(v)
+				default:
+					return nil, errf("unknown thread attribute %q", k)
+				}
+				if err != nil {
+					return nil, errf("attribute %s: %v", k, err)
+				}
+			}
+			curThread = &th
+		default:
+			return nil, errf("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if curThread != nil {
+		return nil, fmt.Errorf("wdl: unterminated thread block")
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func parseFlowop(fields []string) (Flowop, error) {
+	kind, err := ParseOpKind(fields[0])
+	if err != nil {
+		return Flowop{}, err
+	}
+	op := Flowop{Kind: kind}
+	if kind == OpThink {
+		if len(fields) != 2 {
+			return op, fmt.Errorf("think needs a duration")
+		}
+		op.Think, err = ParseDuration(fields[1])
+		return op, err
+	}
+	for _, kv := range fields[1:] {
+		k, v, ok := cut(kv)
+		if !ok {
+			return op, fmt.Errorf("bad attribute %q", kv)
+		}
+		switch k {
+		case "fileset":
+			op.FileSet = v
+		case "iosize":
+			op.IOSize, err = ParseSize(v)
+		case "iters":
+			op.Iters, err = strconv.Atoi(v)
+		case "zipf":
+			op.Zipf = v == "true" || v == "1"
+		default:
+			return op, fmt.Errorf("unknown flowop attribute %q", k)
+		}
+		if err != nil {
+			return op, fmt.Errorf("attribute %s: %v", k, err)
+		}
+	}
+	return op, nil
+}
+
+func cut(kv string) (k, v string, ok bool) {
+	i := strings.IndexByte(kv, '=')
+	if i <= 0 {
+		return "", "", false
+	}
+	return kv[:i], kv[i+1:], true
+}
+
+// ParseSize parses "2k", "410m", "25g", "4096".
+func ParseSize(s string) (int64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty size")
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative size")
+	}
+	return int64(n * float64(mult)), nil
+}
+
+// ParseDuration parses "96us", "10ms", "2s", "500ns".
+func ParseDuration(s string) (sim.Time, error) {
+	for _, suf := range []struct {
+		name string
+		mult sim.Time
+	}{{"ns", sim.Nanosecond}, {"us", sim.Microsecond}, {"ms", sim.Millisecond}, {"s", sim.Second}} {
+		if strings.HasSuffix(s, suf.name) {
+			n, err := strconv.ParseFloat(strings.TrimSuffix(s, suf.name), 64)
+			if err != nil || n < 0 {
+				return 0, fmt.Errorf("bad duration %q", s)
+			}
+			return sim.Time(n * float64(suf.mult)), nil
+		}
+	}
+	return 0, fmt.Errorf("duration %q needs a unit (ns/us/ms/s)", s)
+}
+
+// FormatWDL renders a workload back to WDL text (parse/print
+// round-trips are property-tested).
+func FormatWDL(w *Workload) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "workload %s\n", w.Name)
+	for _, fsSet := range w.FileSets {
+		fmt.Fprintf(&sb, "fileset %s dir=%s entries=%d size=%d prealloc=%g",
+			fsSet.Name, fsSet.Dir, fsSet.Entries, fsSet.MeanSize, fsSet.PreallocFrac)
+		if fsSet.ParetoAlpha > 0 {
+			fmt.Fprintf(&sb, " pareto=%g", fsSet.ParetoAlpha)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, th := range w.Threads {
+		fmt.Fprintf(&sb, "thread %s count=%d overhead=%dns {\n", th.Name, th.Count, int64(th.PerOpOverhead))
+		for _, op := range th.Flowops {
+			if op.Kind == OpThink {
+				fmt.Fprintf(&sb, "    think %dns\n", int64(op.Think))
+				continue
+			}
+			fmt.Fprintf(&sb, "    %s fileset=%s", op.Kind, op.FileSet)
+			if op.IOSize > 0 {
+				fmt.Fprintf(&sb, " iosize=%d", op.IOSize)
+			}
+			if op.Iters > 1 {
+				fmt.Fprintf(&sb, " iters=%d", op.Iters)
+			}
+			if op.Zipf {
+				fmt.Fprintf(&sb, " zipf=true")
+			}
+			sb.WriteByte('\n')
+		}
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}
