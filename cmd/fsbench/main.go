@@ -39,6 +39,8 @@ func main() {
 		window       = flag.String("window", "30s", "measurement window at the end of each run")
 		cold         = flag.Bool("cold", false, "drop caches after setup (cold start)")
 		seed         = flag.Uint64("seed", 1, "base seed")
+		parallel     = flag.Int("parallel", 0, "concurrent runs, 0 = GOMAXPROCS (results are identical at any setting)")
+		progress     = flag.Bool("progress", true, "report per-run progress on stderr")
 		list         = flag.Bool("list", false, "list stock personalities and exit")
 		showHist     = flag.Bool("hist", true, "print the latency histogram")
 	)
@@ -96,9 +98,23 @@ func main() {
 		MeasureWindow: win,
 		ColdCache:     *cold,
 		Seed:          *seed,
+		Parallelism:   *parallel,
+	}
+	progressOpen := false
+	if *progress {
+		exp.Progress = func(ev fsbench.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "\rrun %d/%d", ev.Done, ev.Total)
+			progressOpen = ev.Done != ev.Total
+			if !progressOpen {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
 	}
 	res, err := exp.Run()
 	if err != nil {
+		if progressOpen {
+			fmt.Fprintln(os.Stderr) // terminate the \r progress line
+		}
 		fatal(err)
 	}
 

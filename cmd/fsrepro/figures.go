@@ -24,6 +24,28 @@ type Protocol struct {
 	Fig4Duration fsbench.Time
 	Seed         uint64
 	OutDir       string
+	// Parallelism bounds concurrent runs (0 = GOMAXPROCS). Every
+	// figure is bit-identical at any setting.
+	Parallelism int
+}
+
+// sweepProgress prints a stderr line as each sweep point completes.
+func sweepProgress(ev fsbench.ProgressEvent) {
+	if ev.PointDone {
+		fmt.Fprintf(os.Stderr, "  point %d (x=%g) done, %d/%d runs [%s]\n",
+			ev.Point, ev.X, ev.Done, ev.Total, ev.Flags)
+	}
+}
+
+// expProgress reports pooled-experiment completions by name on stderr
+// (the figures that fan several experiments through one Runner).
+func expProgress(exps []*fsbench.Experiment) fsbench.ProgressFunc {
+	return func(ev fsbench.ProgressEvent) {
+		if ev.PointDone {
+			fmt.Fprintf(os.Stderr, "  %s done, %d/%d runs [%s]\n",
+				exps[ev.Point].Name, ev.Done, ev.Total, ev.Flags)
+		}
+	}
 }
 
 func quickProtocol() Protocol {
@@ -60,6 +82,8 @@ func figure1(proto Protocol) error {
 		sizes = append(sizes, mb<<20)
 	}
 	sweep := fsbench.FileSizeSweep(stack, sizes, proto.Runs, proto.Duration, proto.Window, proto.Seed)
+	sweep.Parallelism = proto.Parallelism
+	sweep.Progress = sweepProgress
 	res, err := sweep.Run()
 	if err != nil {
 		return err
@@ -126,6 +150,8 @@ func figure1(proto Protocol) error {
 		fine = append(fine, mb<<20)
 	}
 	fineSweep := fsbench.FileSizeSweep(stack, fine, proto.Runs, proto.Duration, proto.Window, proto.Seed+1000)
+	fineSweep.Parallelism = proto.Parallelism
+	fineSweep.Progress = sweepProgress
 	fineRes, err := fineSweep.Run()
 	if err != nil {
 		return err
@@ -174,9 +200,10 @@ func figure1zoom(proto Protocol) error {
 		Stack: stack,
 		Runs:  1,
 		// The cliff search needs many evaluations; keep each short.
-		Duration: 30 * fsbench.Second,
-		Window:   15 * fsbench.Second,
-		Seed:     proto.Seed,
+		Duration:    30 * fsbench.Second,
+		Window:      15 * fsbench.Second,
+		Seed:        proto.Seed,
+		Parallelism: proto.Parallelism,
 	}
 	base := fsbench.SelfScaleParams{IOSize: 2 << 10, ReadFrac: 1, SeqFrac: 0, Threads: 1}
 	cliff, err := fsbench.CliffSearch(cfg, base, 384<<20, 448<<20, 3, 2<<20)
@@ -205,12 +232,13 @@ func figure2(proto Protocol) error {
 		name  string
 		rates []float64
 	}
-	var curves []curve
-	for _, fsName := range []string{"ext2", "ext3", "xfs"} {
+	fsNames := []string{"ext2", "ext3", "xfs"}
+	exps := make([]*fsbench.Experiment, len(fsNames))
+	for i, fsName := range fsNames {
 		stack := fsbench.PaperStack()
 		stack.FS = fsName
 		stack.OSReserveJitter = 0 // one run per system, as in the paper
-		exp := &fsbench.Experiment{
+		exps[i] = &fsbench.Experiment{
 			Name:           "fig2-" + fsName,
 			Stack:          stack,
 			Workload:       fsbench.RandomRead(410<<20, 2<<10, 1),
@@ -221,13 +249,18 @@ func figure2(proto Protocol) error {
 			SeriesInterval: 10 * fsbench.Second,
 			Kinds:          []fsbench.OpKind{workload.OpReadRand},
 		}
-		res, err := exp.Run()
-		if err != nil {
-			return err
-		}
-		curves = append(curves, curve{fsName, res.PerRun[0].Series.Rates()})
+	}
+	// The three systems are independent: run them as one pool.
+	runner := fsbench.Runner{Parallelism: proto.Parallelism, Progress: expProgress(exps)}
+	results, err := runner.RunExperiments(exps)
+	if err != nil {
+		return err
+	}
+	var curves []curve
+	for i, res := range results {
+		curves = append(curves, curve{fsNames[i], res.PerRun[0].Series.Rates()})
 		fmt.Printf("  %s: non-stationary=%v (the whole curve is the result)\n",
-			fsName, res.Flags.NonStationary)
+			fsNames[i], res.Flags.NonStationary)
 	}
 	n := len(curves[0].rates)
 	for _, c := range curves {
@@ -271,11 +304,12 @@ func figure2(proto Protocol) error {
 func figure3(proto Protocol) error {
 	fmt.Println("=== Figure 3: Ext2 read latency histograms by file size ===")
 	var rows [][]string
-	for _, size := range []int64{64 << 20, 1024 << 20, 25 << 30} {
-		stack := fsbench.PaperStack()
-		exp := &fsbench.Experiment{
+	sizes := []int64{64 << 20, 1024 << 20, 25 << 30}
+	exps := make([]*fsbench.Experiment, len(sizes))
+	for i, size := range sizes {
+		exps[i] = &fsbench.Experiment{
 			Name:          fmt.Sprintf("fig3-%dMB", size>>20),
-			Stack:         stack,
+			Stack:         fsbench.PaperStack(),
 			Workload:      fsbench.RandomRead(size, 2<<10, 1),
 			Runs:          1,
 			Duration:      proto.Duration,
@@ -283,10 +317,15 @@ func figure3(proto Protocol) error {
 			Seed:          proto.Seed,
 			Kinds:         []fsbench.OpKind{workload.OpReadRand},
 		}
-		res, err := exp.Run()
-		if err != nil {
-			return err
-		}
+	}
+	// The three file sizes are independent: run them as one pool.
+	runner := fsbench.Runner{Parallelism: proto.Parallelism, Progress: expProgress(exps)}
+	results, err := runner.RunExperiments(exps)
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		size := sizes[i]
 		label := fmt.Sprintf("(%c) %d MB file", 'a'+len(rows)/33, size>>20)
 		if size >= 1<<30 {
 			label = fmt.Sprintf("(%c) %d GB file", 'a'+len(rows)/33, size>>30)
@@ -327,6 +366,7 @@ func figure4(proto Protocol) error {
 		Seed:             proto.Seed,
 		TimelineInterval: 10 * fsbench.Second,
 		Kinds:            []fsbench.OpKind{workload.OpReadRand},
+		Parallelism:      proto.Parallelism,
 	}
 	res, err := exp.Run()
 	if err != nil {

@@ -27,11 +27,12 @@ func main() {
 	var figs multiFlag
 	flag.Var(&figs, "fig", "figure to regenerate: 1, 1zoom, 2, 3, 4 (repeatable)")
 	var (
-		table = flag.String("table", "", "table to regenerate: 1")
-		all   = flag.Bool("all", false, "regenerate everything")
-		full  = flag.Bool("full", false, "use the paper's full protocol (20 min runs, 10 repeats)")
-		out   = flag.String("out", "results", "directory for CSV data files")
-		seed  = flag.Uint64("seed", 1, "base seed")
+		table    = flag.String("table", "", "table to regenerate: 1")
+		all      = flag.Bool("all", false, "regenerate everything")
+		full     = flag.Bool("full", false, "use the paper's full protocol (20 min runs, 10 repeats)")
+		out      = flag.String("out", "results", "directory for CSV data files")
+		seed     = flag.Uint64("seed", 1, "base seed")
+		parallel = flag.Int("parallel", 0, "concurrent runs, 0 = GOMAXPROCS (results are identical at any setting)")
 	)
 	flag.Parse()
 
@@ -44,6 +45,7 @@ func main() {
 	}
 	proto.Seed = *seed
 	proto.OutDir = *out
+	proto.Parallelism = *parallel
 
 	if *all {
 		figs = multiFlag{"1", "1zoom", "2", "3", "4"}

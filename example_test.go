@@ -1,0 +1,87 @@
+package fsbench_test
+
+import (
+	"fmt"
+
+	fsbench "repro"
+)
+
+// testbed is a scaled-down paper testbed (64 MB RAM, ~51 MB page
+// cache) so the examples run in well under a second. Swap in
+// fsbench.PaperStack() for the full 512 MB configuration.
+func testbed() fsbench.StackConfig {
+	return fsbench.StackConfig{
+		FS: "ext2", Device: "hdd", DiskBytes: 4 << 30,
+		RAMBytes: 64 << 20, OSReserveBytes: 13 << 20, OSReserveJitter: 1 << 20,
+		CachePolicy: "lru",
+	}
+}
+
+// ExampleExperiment runs the multi-run protocol the paper calls for:
+// several independent seeded runs, a measurement window, summary
+// statistics with confidence intervals, and refusal flags when a
+// single number would misrepresent the data.
+func ExampleExperiment() {
+	exp := &fsbench.Experiment{
+		Name:          "randomread-8MB",
+		Stack:         testbed(),
+		Workload:      fsbench.RandomRead(8<<20, 2<<10, 1),
+		Runs:          3,
+		Duration:      10 * fsbench.Second,
+		MeasureWindow: 5 * fsbench.Second,
+		Seed:          1,
+		Parallelism:   4, // fan runs across goroutines; results are identical at any setting
+	}
+	res, err := exp.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("runs: %d\n", res.Throughput.N)
+	fmt.Printf("memory-bound: %v\n", res.Throughput.Mean > 1000)
+	fmt.Printf("flags: %s\n", res.Flags)
+	// Output:
+	// runs: 3
+	// memory-bound: true
+	// flags: ok
+}
+
+// ExampleSweep reproduces Figure 1's methodology in miniature: sweep
+// file size across the page-cache boundary and watch throughput fall
+// off the cliff.
+func ExampleSweep() {
+	sweep := fsbench.FileSizeSweep(testbed(),
+		[]int64{16 << 20, 48 << 20, 96 << 20}, // below, at, above the ~51 MB cache
+		3, 10*fsbench.Second, 5*fsbench.Second, 7)
+	sweep.Parallelism = 4 // all (point, run) pairs share one worker pool
+	res, err := sweep.Run()
+	if err != nil {
+		panic(err)
+	}
+	first := res.Points[0].Result.Throughput.Mean
+	last := res.Points[len(res.Points)-1].Result.Throughput.Mean
+	fmt.Printf("points: %d\n", len(res.Points))
+	fmt.Printf("cliff (first ≫ last): %v\n", first > 5*last)
+	// Output:
+	// points: 3
+	// cliff (first ≫ last): true
+}
+
+// ExampleNanoSuite runs nano-benchmarks from the paper's §4 proposal:
+// each test isolates one dimension of file-system performance instead
+// of smearing several together.
+func ExampleNanoSuite() {
+	suite := fsbench.DefaultNanoSuite()
+	suite.Benchmarks = suite.Benchmarks[:3] // io-seq-bw, io-rand-iops, mem-read
+	suite.Parallelism = 3                   // each benchmark builds its own stack
+	scores, err := suite.RunAll(testbed(), 1)
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range scores {
+		fmt.Printf("%s [%s]: positive=%v\n", s.Name, s.Dimension, s.Value > 0)
+	}
+	// Output:
+	// io-seq-bw [io]: positive=true
+	// io-rand-iops [io]: positive=true
+	// mem-read [caching]: positive=true
+}

@@ -18,11 +18,18 @@
 //	    Duration: 20 * fsbench.Minute,
 //	    MeasureWindow: fsbench.Minute,     // "report only the last minute"
 //	    Seed:     1,
+//	    Parallelism: 4,                    // fan runs across goroutines
 //	}
 //	res, err := exp.Run()
 //	// res.Throughput: mean, stddev, RSD, 95% CI across the 10 runs
 //	// res.Hist:       log2 latency histogram (the paper's Figure 3)
 //	// res.Flags:      Bimodal / NonStationary / HighVariance refusals
+//
+// Runs execute across a worker pool (Parallelism; 0 = GOMAXPROCS)
+// with per-run seeds derived up front via DeriveSeed, so results are
+// bit-identical at any parallelism level, including 1. See
+// ExampleExperiment, ExampleSweep, and ExampleNanoSuite for runnable
+// versions of the protocol on a scaled-down testbed.
 //
 // # What lives where
 //
@@ -94,6 +101,13 @@ type (
 	FragilityReport = core.FragilityReport
 	// Comparison is a significance-gated two-system comparison.
 	Comparison = core.Comparison
+	// Runner fans experiment runs and sweep points across a bounded
+	// worker pool; results are bit-identical at any Parallelism.
+	Runner = core.Runner
+	// ProgressEvent reports runs completed / total and per-point flags.
+	ProgressEvent = core.ProgressEvent
+	// ProgressFunc consumes serialized progress events.
+	ProgressFunc = core.ProgressFunc
 	// Dimension is one of the paper's five file-system dimensions.
 	Dimension = core.Dimension
 	// Coverage grades how strongly a workload exercises a dimension.
@@ -121,6 +135,11 @@ func PaperStack() StackConfig { return core.PaperStack() }
 // Compare performs the significance-gated comparison of two results
 // at level alpha (Welch t-test and Mann-Whitney U must both agree).
 func Compare(a, b *Result, alpha float64) Comparison { return core.Compare(a, b, alpha) }
+
+// DeriveSeed deterministically mixes a base seed with a stream index
+// (splitmix64); the engine uses it to give run i the seed
+// DeriveSeed(Seed, i) regardless of execution order.
+func DeriveSeed(base, index uint64) uint64 { return sim.DeriveSeed(base, index) }
 
 // FileSizeSweep builds the paper's Figure 1 sweep: single-thread 2 KB
 // random reads at each file size.

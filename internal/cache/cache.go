@@ -11,7 +11,10 @@
 // axis that the harness can sweep.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // PageSize is the cache granule in bytes, matching the x86 Linux page.
 const PageSize = 4096
@@ -73,12 +76,25 @@ type Cache struct {
 	pages    map[PageID]*pageMeta
 	policy   Policy
 	stats    Stats
-	dirty    int                 // resident dirty pages (kept incrementally)
-	dirtySet map[PageID]struct{} // the dirty pages themselves
+	dirty    int // resident dirty pages (kept incrementally)
+	// dirtySet and the intrusive dirtyHead/dirtyTail list track dirty
+	// pages in the order they were dirtied. The order matters: the
+	// write-back flusher collects bounded batches, and iterating a Go
+	// map would hand it a different batch on every run, destroying the
+	// bit-reproducibility the harness promises. FIFO order is also
+	// what real kernels approximate (oldest-dirtied first).
+	dirtySet             map[PageID]*dirtyEnt
+	dirtyHead, dirtyTail *dirtyEnt
 	// byFile indexes resident page indices per file so that
 	// InvalidateFile (unlink, truncate) need not scan the whole
 	// cache.
 	byFile map[uint64]map[int64]struct{}
+}
+
+// dirtyEnt is one node of the dirtied-order list.
+type dirtyEnt struct {
+	id         PageID
+	prev, next *dirtyEnt
 }
 
 // New returns a cache holding capacityPages pages under the given
@@ -97,20 +113,42 @@ func New(capacityPages int, policy Policy) *Cache {
 		pages:    make(map[PageID]*pageMeta),
 		policy:   policy,
 		byFile:   make(map[uint64]map[int64]struct{}),
-		dirtySet: make(map[PageID]struct{}),
+		dirtySet: make(map[PageID]*dirtyEnt),
 	}
 }
 
 // markDirtyCounters and clearDirtyCounters keep the dirty-page
-// bookkeeping in one place.
+// bookkeeping in one place, appending to / unlinking from the
+// dirtied-order list.
 func (c *Cache) markDirtyCounters(id PageID) {
 	c.dirty++
-	c.dirtySet[id] = struct{}{}
+	e := &dirtyEnt{id: id, prev: c.dirtyTail}
+	if c.dirtyTail != nil {
+		c.dirtyTail.next = e
+	} else {
+		c.dirtyHead = e
+	}
+	c.dirtyTail = e
+	c.dirtySet[id] = e
 }
 
 func (c *Cache) clearDirtyCounters(id PageID) {
+	e, ok := c.dirtySet[id]
+	if !ok {
+		return
+	}
 	c.dirty--
 	delete(c.dirtySet, id)
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.dirtyHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.dirtyTail = e.prev
+	}
 }
 
 // addIndex and delIndex maintain the per-file page index.
@@ -262,12 +300,13 @@ func (c *Cache) IsDirty(id PageID) bool {
 // the write-back trigger calls it on every operation.
 func (c *Cache) DirtyCount() int { return c.dirty }
 
-// CollectDirty appends up to max dirty page ids to dst and returns it.
-// The write-back flusher uses this; pass max <= 0 for all dirty pages.
-// Cost scales with the number of dirty pages, not the cache size.
+// CollectDirty appends up to max dirty page ids to dst, oldest
+// dirtied first, and returns it. The write-back flusher uses this;
+// pass max <= 0 for all dirty pages. Cost scales with the number of
+// dirty pages, not the cache size.
 func (c *Cache) CollectDirty(dst []PageID, max int) []PageID {
-	for id := range c.dirtySet {
-		dst = append(dst, id)
+	for e := c.dirtyHead; e != nil; e = e.next {
+		dst = append(dst, e.id)
 		if max > 0 && len(dst) >= max {
 			break
 		}
@@ -275,12 +314,12 @@ func (c *Cache) CollectDirty(dst []PageID, max int) []PageID {
 	return dst
 }
 
-// CollectDirtyFile appends the dirty pages of one file to dst —
-// fsync's working set.
+// CollectDirtyFile appends the dirty pages of one file to dst, oldest
+// dirtied first — fsync's working set.
 func (c *Cache) CollectDirtyFile(dst []PageID, file uint64) []PageID {
-	for id := range c.dirtySet {
-		if id.File == file {
-			dst = append(dst, id)
+	for e := c.dirtyHead; e != nil; e = e.next {
+		if e.id.File == file {
+			dst = append(dst, e.id)
 		}
 	}
 	return dst
@@ -312,8 +351,16 @@ func (c *Cache) InvalidateFile(file uint64) int {
 	if !ok {
 		return 0
 	}
-	n := 0
+	// Sort the victims: policies with history (ARC, 2Q) see removals,
+	// and feeding them map-iteration order would make ghost-list state
+	// — and therefore later evictions — nondeterministic.
+	indices := make([]int64, 0, len(idx))
 	for pageIdx := range idx {
+		indices = append(indices, pageIdx)
+	}
+	slices.Sort(indices)
+	n := 0
+	for _, pageIdx := range indices {
 		id := PageID{File: file, Index: pageIdx}
 		if m := c.pages[id]; m != nil && m.dirty {
 			c.clearDirtyCounters(id)
@@ -359,11 +406,33 @@ func (c *Cache) Resize(capacityPages int) []Evicted {
 // Flush removes every page (writing nothing); tests and unmount use
 // it after the caller has written dirty pages back.
 func (c *Cache) Flush() {
+	// Deterministic removal order, for the same reason as
+	// InvalidateFile: policy history must not depend on map iteration.
+	ids := make([]PageID, 0, len(c.pages))
 	for id := range c.pages {
+		ids = append(ids, id)
+	}
+	slices.SortFunc(ids, func(a, b PageID) int {
+		if a.File != b.File {
+			if a.File < b.File {
+				return -1
+			}
+			return 1
+		}
+		if a.Index != b.Index {
+			if a.Index < b.Index {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	for _, id := range ids {
 		c.policy.OnRemove(id)
 		delete(c.pages, id)
 	}
 	c.byFile = make(map[uint64]map[int64]struct{})
-	c.dirtySet = make(map[PageID]struct{})
+	c.dirtySet = make(map[PageID]*dirtyEnt)
+	c.dirtyHead, c.dirtyTail = nil, nil
 	c.dirty = 0
 }

@@ -130,6 +130,34 @@ func TestCollectDirty(t *testing.T) {
 	}
 }
 
+func TestCollectDirtyOrderIsDirtiedOrder(t *testing.T) {
+	// The flusher's batches must be reproducible: collection follows
+	// the order pages were dirtied, not map iteration.
+	c := New(10, NewLRU())
+	order := []int64{5, 1, 4, 2}
+	for _, i := range order {
+		c.Insert(page(1, i), true)
+	}
+	got := c.CollectDirty(nil, 0)
+	for i, id := range got {
+		if id.Index != order[i] {
+			t.Fatalf("CollectDirty order %v, want dirtied order %v", got, order)
+		}
+	}
+	// Re-dirtying after Clean moves the page to the tail.
+	c.Clean(page(1, 5))
+	c.MarkDirty(page(1, 5))
+	got = c.CollectDirty(nil, 0)
+	if got[len(got)-1].Index != 5 {
+		t.Fatalf("re-dirtied page not at tail: %v", got)
+	}
+	// A capped collection takes the oldest-dirtied prefix.
+	capped := c.CollectDirty(nil, 2)
+	if capped[0].Index != 1 || capped[1].Index != 4 {
+		t.Fatalf("capped collection %v, want prefix [1 4]", capped)
+	}
+}
+
 func TestInvalidate(t *testing.T) {
 	c := New(4, NewLRU())
 	c.Insert(page(1, 0), true)

@@ -25,8 +25,15 @@ type Experiment struct {
 	MeasureWindow sim.Time
 	// ColdCache drops caches after setup so each run starts cold.
 	ColdCache bool
-	// Seed derives per-run seeds (seed+run).
+	// Seed is the base seed; run i's seed is sim.DeriveSeed(Seed, i),
+	// derived up front so results do not depend on execution order.
 	Seed uint64
+	// Parallelism bounds how many runs execute concurrently; <= 0
+	// means GOMAXPROCS. Results are bit-identical at any setting.
+	Parallelism int
+	// Progress, when non-nil, receives a serialized event per
+	// completed run.
+	Progress ProgressFunc
 	// SeriesInterval enables a throughput time series with the given
 	// bucket (0 = 10s, the paper's Figure 2 interval).
 	SeriesInterval sim.Time
@@ -107,29 +114,35 @@ func (r *Result) Throughputs() []float64 {
 	return out
 }
 
-// Run executes the experiment.
+// Run executes the experiment, fanning its runs across a worker pool
+// sized by Parallelism.
 func (e *Experiment) Run() (*Result, error) {
+	return Runner{Parallelism: e.Parallelism, Progress: e.Progress}.RunExperiment(e)
+}
+
+// prepare validates the experiment and defaults Runs.
+func (e *Experiment) prepare() error {
 	if e.Runs <= 0 {
 		e.Runs = 1
 	}
 	if e.Duration <= 0 {
-		return nil, fmt.Errorf("core: experiment %q without duration", e.Name)
+		return fmt.Errorf("core: experiment %q without duration", e.Name)
 	}
 	if err := e.Workload.Validate(); err != nil {
-		return nil, err
+		return fmt.Errorf("core: experiment %q: %w", e.Name, err)
 	}
-	res := &Result{Experiment: e, Hist: &metrics.Histogram{}}
-	for run := 0; run < e.Runs; run++ {
-		m, err := e.runOnce(e.Seed + uint64(run))
-		if err != nil {
-			return nil, fmt.Errorf("core: experiment %q run %d: %w", e.Name, run, err)
-		}
-		res.PerRun = append(res.PerRun, m)
-		res.Hist.Merge(m.Hist)
+	return nil
+}
+
+// aggregate folds per-run measures (in run order) into a Result.
+func (e *Experiment) aggregate(perRun []RunMeasure) *Result {
+	res := &Result{Experiment: e, PerRun: perRun, Hist: &metrics.Histogram{}}
+	for i := range perRun {
+		res.Hist.Merge(perRun[i].Hist)
 	}
 	res.Throughput = stats.Summarize(res.Throughputs())
 	res.Flags = e.flags(res)
-	return res, nil
+	return res
 }
 
 func (e *Experiment) kindSet() map[workload.OpKind]bool {

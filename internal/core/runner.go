@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+// ProgressEvent reports the engine's forward progress. Done/Total
+// count individual workload runs across the whole job (an experiment's
+// Runs, or the sum over a sweep's points), so Done == Total means the
+// job is finished.
+type ProgressEvent struct {
+	// Done and Total count completed runs out of all runs in the job.
+	Done, Total int
+	// Point is the index of the sweep point the completed run belongs
+	// to (0 for a plain experiment).
+	Point int
+	// X is the sweep coordinate of that point (0 for a plain
+	// experiment).
+	X float64
+	// PointDone reports that every run of Point has completed; Flags
+	// then carries the point's refusal flags.
+	PointDone bool
+	// Flags is the completed point's refusal verdict (valid only when
+	// PointDone is set).
+	Flags Flags
+}
+
+// ProgressFunc consumes progress events. The engine serializes calls,
+// so implementations need no locking, but they run on worker
+// goroutines and should return quickly.
+type ProgressFunc func(ProgressEvent)
+
+// Runner executes experiments and sweeps across a bounded worker
+// pool. Every run is an independent simulation reproducible from
+// (configuration, seed), and the engine derives all per-run seeds up
+// front with sim.DeriveSeed — so results are bit-identical for any
+// Parallelism, including 1.
+//
+// The zero value runs at GOMAXPROCS with no progress reporting.
+type Runner struct {
+	// Parallelism bounds concurrent runs; <= 0 means GOMAXPROCS.
+	Parallelism int
+	// Progress, when non-nil, receives serialized progress events.
+	Progress ProgressFunc
+}
+
+// RunExperiment executes one experiment's runs across the pool.
+func (r Runner) RunExperiment(e *Experiment) (*Result, error) {
+	results, err := r.runAll([]*Experiment{e}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// RunExperiments executes several independent experiments as one flat
+// pool of runs — the fan-out for multi-system comparisons (run A and
+// B together, then Compare their Results). Results are returned in
+// input order.
+func (r Runner) RunExperiments(exps []*Experiment) ([]*Result, error) {
+	return r.runAll(exps, nil)
+}
+
+// RunSweep materializes every sweep point and executes all
+// (point, run) pairs as one flat pool, so parallelism is not capped by
+// the number of points still in flight.
+func (r Runner) RunSweep(s *Sweep) (*SweepResult, error) {
+	if s.Mutate == nil {
+		return nil, fmt.Errorf("core: sweep %q without Mutate", s.Name)
+	}
+	exps := make([]*Experiment, len(s.Values))
+	for i, x := range s.Values {
+		exp := s.Mutate(s.Base, x)
+		exps[i] = &exp
+	}
+	results, err := r.runAll(exps, s.Values)
+	if err != nil {
+		return nil, fmt.Errorf("sweep %q: %w", s.Name, err)
+	}
+	out := &SweepResult{Name: s.Name}
+	for i, res := range results {
+		out.Points = append(out.Points, SweepPoint{X: s.Values[i], Result: res})
+	}
+	return out, nil
+}
+
+// job is one (experiment, run) cell of a fan-out.
+type job struct{ point, run int }
+
+// runAll is the engine's heart: validate every experiment, derive all
+// per-run seeds up front, execute the flat job list across the pool,
+// and aggregate each point as soon as its last run completes. xs, when
+// non-nil, provides the sweep coordinate reported in progress events.
+func (r Runner) runAll(exps []*Experiment, xs []float64) ([]*Result, error) {
+	var jobs []job
+	seeds := make([][]uint64, len(exps))
+	total := 0
+	for p, e := range exps {
+		if err := e.prepare(); err != nil {
+			if xs != nil {
+				err = fmt.Errorf("at %v: %w", xs[p], err)
+			}
+			return nil, err
+		}
+		seeds[p] = make([]uint64, e.Runs)
+		for run := 0; run < e.Runs; run++ {
+			seeds[p][run] = sim.DeriveSeed(e.Seed, uint64(run))
+			jobs = append(jobs, job{p, run})
+		}
+		total += e.Runs
+	}
+
+	perRun := make([][]RunMeasure, len(exps))
+	remaining := make([]int, len(exps))
+	for p, e := range exps {
+		perRun[p] = make([]RunMeasure, e.Runs)
+		remaining[p] = e.Runs
+	}
+	results := make([]*Result, len(exps))
+
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	err := par.ForEach(len(jobs), r.Parallelism, func(j int) error {
+		jb := jobs[j]
+		e := exps[jb.point]
+		m, err := e.runOnce(seeds[jb.point][jb.run])
+		if err != nil {
+			err = fmt.Errorf("core: experiment %q run %d: %w", e.Name, jb.run, err)
+			if xs != nil {
+				err = fmt.Errorf("at %v: %w", xs[jb.point], err)
+			}
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		perRun[jb.point][jb.run] = m
+		done++
+		remaining[jb.point]--
+		ev := ProgressEvent{Done: done, Total: total, Point: jb.point}
+		if xs != nil {
+			ev.X = xs[jb.point]
+		}
+		if remaining[jb.point] == 0 {
+			// Aggregation consumes runs in index order, so the result
+			// does not depend on completion order.
+			results[jb.point] = e.aggregate(perRun[jb.point])
+			ev.PointDone = true
+			ev.Flags = results[jb.point].Flags
+		}
+		if r.Progress != nil {
+			r.Progress(ev)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

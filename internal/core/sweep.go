@@ -21,6 +21,12 @@ type Sweep struct {
 	// Mutate adapts the template for value x (e.g. sets the fileset
 	// size). It must return a complete experiment.
 	Mutate func(base Experiment, x float64) Experiment
+	// Parallelism bounds concurrent runs across all points; <= 0
+	// means GOMAXPROCS. Results are bit-identical at any setting.
+	Parallelism int
+	// Progress, when non-nil, receives a serialized event per
+	// completed run, with PointDone marking finished points.
+	Progress ProgressFunc
 }
 
 // SweepPoint is one X's aggregate.
@@ -35,21 +41,10 @@ type SweepResult struct {
 	Points []SweepPoint
 }
 
-// Run executes the sweep.
+// Run executes the sweep, fanning every (point, run) pair across a
+// worker pool sized by Parallelism.
 func (s *Sweep) Run() (*SweepResult, error) {
-	if s.Mutate == nil {
-		return nil, fmt.Errorf("core: sweep %q without Mutate", s.Name)
-	}
-	out := &SweepResult{Name: s.Name}
-	for _, x := range s.Values {
-		exp := s.Mutate(s.Base, x)
-		res, err := exp.Run()
-		if err != nil {
-			return nil, fmt.Errorf("sweep %q at %v: %w", s.Name, x, err)
-		}
-		out.Points = append(out.Points, SweepPoint{X: x, Result: res})
-	}
-	return out, nil
+	return Runner{Parallelism: s.Parallelism, Progress: s.Progress}.RunSweep(s)
 }
 
 // Summaries extracts the per-point throughput summaries.

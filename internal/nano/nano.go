@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/fs"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/vfs"
 	"repro/internal/workload"
@@ -51,19 +52,30 @@ type Benchmark struct {
 // Suite is an ordered set of nano-benchmarks.
 type Suite struct {
 	Benchmarks []Benchmark
+	// Parallelism bounds how many benchmarks run concurrently; <= 0
+	// means GOMAXPROCS. Each benchmark builds its own stack, so scores
+	// are bit-identical at any setting.
+	Parallelism int
 }
 
-// RunAll executes the suite against a stack configuration.
+// RunAll executes the suite against a stack configuration, fanning
+// benchmarks across a worker pool sized by Parallelism. Scores come
+// back in suite order regardless of completion order.
 func (s *Suite) RunAll(stack core.StackConfig, seed uint64) ([]Score, error) {
-	var out []Score
-	for _, b := range s.Benchmarks {
+	out := make([]Score, len(s.Benchmarks))
+	err := par.ForEach(len(s.Benchmarks), s.Parallelism, func(i int) error {
+		b := s.Benchmarks[i]
 		sc, err := b.Run(stack, seed)
 		if err != nil {
-			return out, fmt.Errorf("nano %s: %w", b.Name, err)
+			return fmt.Errorf("nano %s: %w", b.Name, err)
 		}
 		sc.Name = b.Name
 		sc.Dimension = b.Dimension
-		out = append(out, sc)
+		out[i] = sc
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,95 @@
+// Package par provides the bounded worker pool shared by the parallel
+// experiment engine (core, nano, selfscale). It is deliberately tiny:
+// deterministic results come from callers writing into index-addressed
+// slots, so the pool only has to distribute indices and collect the
+// first error.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism setting: values <= 0 mean
+// runtime.GOMAXPROCS(0), anything else is taken as given.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach invokes fn(i) for every i in [0, n) using at most `workers`
+// concurrent goroutines (workers <= 0 means GOMAXPROCS). fn must
+// write its output into a slot addressed by i so that results are
+// independent of execution order.
+//
+// On error ForEach returns the error of the smallest failing index —
+// deterministically, at any worker count: an index is only skipped
+// when a failure at a lower index is already known, so every index up
+// to and including the smallest failing one executes. In-flight calls
+// complete; indices above a known failure are skipped. With
+// workers == 1 the calls happen serially in index order on the
+// caller's goroutine.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstIdx = -1
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if stop.Load() {
+					// Skip only indices above a known failure: anything
+					// at or below it must still run so the reported
+					// error is the smallest failing index regardless of
+					// scheduling. firstIdx only ever decreases, so a
+					// skipped index can never become the answer.
+					mu.Lock()
+					skip := firstIdx != -1 && i > firstIdx
+					mu.Unlock()
+					if skip {
+						return
+					}
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstIdx == -1 || i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,92 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", Workers(0))
+	}
+	if Workers(-3) != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", Workers(-3))
+	}
+	if Workers(7) != 7 {
+		t.Errorf("Workers(7) = %d", Workers(7))
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16, 0} {
+		const n = 100
+		var hits [n]atomic.Int64
+		if err := ForEach(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("boom") }); err != nil {
+		t.Errorf("n=0: %v", err)
+	}
+}
+
+func TestForEachSerialStopsAtError(t *testing.T) {
+	ran := 0
+	err := ForEach(10, 1, func(i int) error {
+		ran++
+		if i == 3 {
+			return fmt.Errorf("fail at %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "fail at 3" {
+		t.Errorf("err = %v", err)
+	}
+	if ran != 4 {
+		t.Errorf("serial ran %d calls after error, want 4", ran)
+	}
+}
+
+func TestForEachParallelReportsSmallestErrorIndex(t *testing.T) {
+	// The smallest failing index must be reported at any worker count
+	// and under any scheduling: indices at or below a known failure
+	// always execute.
+	for _, workers := range []int{1, 2, 8} {
+		for iter := 0; iter < 10; iter++ {
+			err := ForEach(8, workers, func(i int) error {
+				if i < 2 {
+					return nil
+				}
+				return fmt.Errorf("e%d", i)
+			})
+			if err == nil || err.Error() != "e2" {
+				t.Fatalf("workers=%d: err = %v, want e2", workers, err)
+			}
+		}
+	}
+}
+
+func TestForEachStopsHandingOutWorkAfterError(t *testing.T) {
+	var ran atomic.Int64
+	_ = ForEach(1000, 2, func(i int) error {
+		ran.Add(1)
+		return errors.New("x")
+	})
+	if got := ran.Load(); got > 4 {
+		t.Errorf("%d calls ran after first errors, want <= 4", got)
+	}
+}

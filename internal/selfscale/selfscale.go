@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -89,6 +90,9 @@ type Config struct {
 	Duration sim.Time
 	Window   sim.Time
 	Seed     uint64
+	// Parallelism bounds concurrent runs within each evaluation and
+	// concurrent points within SweepParam; <= 0 means GOMAXPROCS.
+	Parallelism int
 }
 
 // Evaluate measures ops/sec at one parameter point.
@@ -101,6 +105,7 @@ func Evaluate(cfg Config, p Params) (float64, error) {
 		Duration:      cfg.Duration,
 		MeasureWindow: cfg.Window,
 		Seed:          cfg.Seed,
+		Parallelism:   cfg.Parallelism,
 	}
 	res, err := exp.Run()
 	if err != nil {
@@ -120,8 +125,8 @@ type Point struct {
 // of the base point fixed — the self-scaling benchmark's per-axis
 // report.
 func SweepParam(cfg Config, base Params, param string, values []float64) ([]Point, error) {
-	var out []Point
-	for _, v := range values {
+	points := make([]Params, len(values))
+	for i, v := range values {
 		p := base
 		switch param {
 		case "uniquebytes":
@@ -137,11 +142,20 @@ func SweepParam(cfg Config, base Params, param string, values []float64) ([]Poin
 		default:
 			return nil, fmt.Errorf("selfscale: unknown parameter %q", param)
 		}
-		ops, err := Evaluate(cfg, p)
+		points[i] = p
+	}
+	// Points are independent evaluations; fan them across the pool.
+	out := make([]Point, len(values))
+	err := par.ForEach(len(values), cfg.Parallelism, func(i int) error {
+		ops, err := Evaluate(cfg, points[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, Point{X: v, Ops: ops})
+		out[i] = Point{X: values[i], Ops: ops}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -186,16 +200,22 @@ func CliffSearch(cfg Config, base Params, loBytes, hiBytes int64, ratio float64,
 		return Evaluate(cfg, p)
 	}
 	evals := 0
-	opsLo, err := eval(loBytes)
-	if err != nil {
+	// The bisection is inherently sequential, but the two bracket
+	// endpoints are independent: evaluate them concurrently.
+	endpoints := []int64{loBytes, hiBytes}
+	endpointOps := make([]float64, 2)
+	if err := par.ForEach(2, cfg.Parallelism, func(i int) error {
+		v, err := eval(endpoints[i])
+		if err != nil {
+			return err
+		}
+		endpointOps[i] = v
+		return nil
+	}); err != nil {
 		return Cliff{}, err
 	}
-	evals++
-	opsHi, err := eval(hiBytes)
-	if err != nil {
-		return Cliff{}, err
-	}
-	evals++
+	opsLo, opsHi := endpointOps[0], endpointOps[1]
+	evals += 2
 	if opsLo < ratio*opsHi {
 		return Cliff{}, fmt.Errorf("selfscale: no %gx cliff between %d MB (%.0f ops/s) and %d MB (%.0f ops/s)",
 			ratio, loBytes>>20, opsLo, hiBytes>>20, opsHi)

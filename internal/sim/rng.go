@@ -49,6 +49,19 @@ func (r *RNG) Seed(seed uint64) {
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
+// DeriveSeed mixes a base seed with a stream index through one
+// splitmix64 round, giving every index a statistically independent
+// seed. The parallel experiment engine derives all per-run seeds up
+// front with this function, which is what makes results bit-identical
+// at any parallelism level: run i's seed depends only on (base, i),
+// never on execution order.
+func DeriveSeed(base, index uint64) uint64 {
+	z := base + (index+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	result := rotl(r.s[1]*5, 7) * 9
