@@ -1,7 +1,7 @@
 package fsbench
 
 // Benchmark harness: one benchmark per paper table/figure, plus the
-// ablation benches DESIGN.md §4 calls out. Each figure bench
+// ablation benches DESIGN.md §5 calls out. Each figure bench
 // regenerates a scaled-down version of its experiment per iteration
 // (so `go test -bench=.` terminates in reasonable time) and reports
 // the figure's *shape* as benchmark metrics — the cliff ratio, the
@@ -11,6 +11,7 @@ package fsbench
 // records its output against the paper.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/device"
@@ -220,7 +221,7 @@ func BenchmarkTable1(b *testing.B) {
 	b.ReportMetric(adhoc*100, "adhoc-share-%")
 }
 
-// --- Ablations (DESIGN.md §4) -----------------------------------------
+// --- Ablations (DESIGN.md §5) -----------------------------------------
 
 // BenchmarkAblationJitter quantifies design decision 3: the
 // cache-availability jitter is what makes the transition region
@@ -403,6 +404,46 @@ func BenchmarkMultiLevelCacheSteps(b *testing.B) {
 		levels = float64(n)
 	}
 	b.ReportMetric(levels, "plateaus")
+}
+
+// BenchmarkContention quantifies design decision 5 (queue depth and
+// scheduler): a 16-thread disk-bound random read at queue depth 1 vs
+// 32 under NCQ. The metrics are the depth-32 throughput gain and its
+// p99 latency cost.
+func BenchmarkContention(b *testing.B) {
+	run := func(b *testing.B, depth, i int) (tp, p99ms float64) {
+		stack := benchStack()
+		stack.OSReserveJitter = 0
+		stack.Scheduler = "ncq"
+		stack.QueueDepth = depth
+		exp := &Experiment{
+			Name:     "contention",
+			Stack:    stack,
+			Workload: RandomRead(1<<30, 2<<10, 16),
+			Runs:     1, Duration: 15 * Second, MeasureWindow: 5 * Second,
+			ColdCache: true,
+			// Seed by iteration only, so the qd=1 and qd=32 metrics
+			// compare identical request streams.
+			Seed:  uint64(i) + 31,
+			Kinds: []OpKind{workload.OpReadRand},
+		}
+		res, err := exp.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Throughput.Mean, float64(res.Hist.Percentile(99)) / 1e6
+	}
+	for _, depth := range []int{1, 32} {
+		depth := depth
+		b.Run(fmt.Sprintf("qd=%d", depth), func(b *testing.B) {
+			var tp, p99 float64
+			for i := 0; i < b.N; i++ {
+				tp, p99 = run(b, depth, i)
+			}
+			b.ReportMetric(tp, "ops/s")
+			b.ReportMetric(p99, "p99-ms")
+		})
+	}
 }
 
 // BenchmarkSimulatorThroughput measures the simulator itself: how

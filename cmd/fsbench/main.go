@@ -32,6 +32,8 @@ func main() {
 		reserveMB    = flag.Int64("os-reserve", 102, "mean OS-reserved memory in MB")
 		jitterMB     = flag.Int64("jitter", 2, "per-run OS reserve stddev in MB")
 		policy       = flag.String("policy", "lru", "cache eviction policy: lru, fifo, clock, random, 2q, arc")
+		queueDepth   = flag.Int("queue-depth", 0, "device queue reorder window (0 = 32; 1 disables reordering)")
+		sched        = flag.String("sched", "", "I/O scheduler: fcfs, elevator, ncq (default elevator)")
 		readahead    = flag.String("readahead", "", "readahead override: none, fixed, adaptive (default: FS hint)")
 		l2MB         = flag.Int64("l2", 0, "flash second-tier cache in MB (0 = none)")
 		runs         = flag.Int("runs", 5, "independent runs")
@@ -75,6 +77,8 @@ func main() {
 		OSReserveBytes:  *reserveMB << 20,
 		OSReserveJitter: *jitterMB << 20,
 		CachePolicy:     *policy,
+		QueueDepth:      *queueDepth,
+		Scheduler:       *sched,
 		Readahead:       *readahead,
 		L2Bytes:         *l2MB << 20,
 	}

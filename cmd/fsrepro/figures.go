@@ -402,6 +402,105 @@ func figure4(proto Protocol) error {
 		[]string{"t_sec", "log2_bucket", "percent_ops"}, rows)
 }
 
+// figureContention is the new scaling-dimension figure the paper's
+// Table 1 calls for but no surveyed benchmark isolates: thread count
+// swept 1 → 64 at device queue depth 1 and 32. With the event-driven
+// queue, throughput saturates once the disk is the bottleneck, the
+// deeper window buys extra throughput via NCQ reordering, and p99
+// latency inflates with contention.
+func figureContention(proto Protocol) error {
+	fmt.Println("=== Contention figure: thread-count sweep at queue depth 1 vs 32 ===")
+	counts := []int{1, 2, 4, 8, 16, 32, 64}
+	mk := func(threads int) *fsbench.Workload {
+		// Disk-bound random reads: a 4 GB file ≫ the 410 MB cache, and
+		// wide enough on the 64 GB disk that reordering has seek
+		// distance to reclaim.
+		return fsbench.RandomRead(4<<30, 2<<10, threads)
+	}
+	type depthCurve struct {
+		depth int
+		tp    []float64
+		p99ms []float64
+	}
+	var curves []depthCurve
+	for _, depth := range []int{1, 32} {
+		stack := fsbench.PaperStack()
+		stack.Scheduler = "ncq"
+		stack.QueueDepth = depth
+		sweep := fsbench.ThreadCountSweep(stack, mk, counts, proto.Runs,
+			proto.Duration, proto.Window, proto.Seed+uint64(depth))
+		sweep.Name = fmt.Sprintf("threadcount-qd%d", depth)
+		sweep.Parallelism = proto.Parallelism
+		sweep.Progress = sweepProgress
+		fmt.Printf("-- queue depth %d --\n", depth)
+		res, err := sweep.Run()
+		if err != nil {
+			return err
+		}
+		c := depthCurve{depth: depth}
+		for _, p := range res.Points {
+			c.tp = append(c.tp, p.Result.Throughput.Mean)
+			c.p99ms = append(c.p99ms, float64(p.Result.Hist.Percentile(99))/1e6)
+		}
+		curves = append(curves, c)
+	}
+
+	t := &report.Table{
+		Headers: []string{"threads", "qd=1 ops/s", "qd=1 p99 ms", "qd=32 ops/s", "qd=32 p99 ms"},
+	}
+	var rows [][]string
+	xs := make([]float64, len(counts))
+	for i, n := range counts {
+		xs[i] = float64(n)
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f", curves[0].tp[i]),
+			fmt.Sprintf("%.1f", curves[0].p99ms[i]),
+			fmt.Sprintf("%.0f", curves[1].tp[i]),
+			fmt.Sprintf("%.1f", curves[1].p99ms[i]),
+		)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.2f", curves[0].tp[i]),
+			fmt.Sprintf("%.3f", curves[0].p99ms[i]),
+			fmt.Sprintf("%.2f", curves[1].tp[i]),
+			fmt.Sprintf("%.3f", curves[1].p99ms[i]),
+		})
+	}
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	last := len(counts) - 1
+	satTP := curves[1].tp[last] / curves[1].tp[0]
+	fmt.Printf("\nqd=32: %d threads sustain %.1fx the 1-thread throughput (saturation, not linear scaling)\n",
+		counts[last], satTP)
+	// Compare the depths at a mid-sweep thread count (16 if present).
+	mid := last / 2
+	for i, n := range counts {
+		if n == 16 {
+			mid = i
+		}
+	}
+	fmt.Printf("qd=32 vs qd=1 at %d threads: %.2fx throughput, %.2fx p99\n\n",
+		counts[mid], curves[1].tp[mid]/curves[0].tp[mid], curves[1].p99ms[mid]/curves[0].p99ms[mid])
+	chart := &report.Chart{
+		Title:  "ops/sec vs threads (1 = qd1, 3 = qd32, log y)",
+		XLabel: "threads 1..64",
+		X:      xs,
+		LogY:   true,
+		Series: []report.ChartSeries{
+			{Name: "qd=1", Y: curves[0].tp, Marker: '1'},
+			{Name: "qd=32", Y: curves[1].tp, Marker: '3'},
+		},
+	}
+	if _, err := chart.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return writeCSV(proto, "contention.csv",
+		[]string{"threads", "qd1_ops", "qd1_p99_ms", "qd32_ops", "qd32_p99_ms"}, rows)
+}
+
 // table1 renders the survey table.
 func table1(proto Protocol) error {
 	fmt.Println("=== Table 1: Benchmarks Summary ===")

@@ -31,6 +31,25 @@
 // ExampleExperiment, ExampleSweep, and ExampleNanoSuite for runnable
 // versions of the protocol on a scaled-down testbed.
 //
+// # Queueing and contention
+//
+// The measured phase of every run executes on a discrete-event kernel
+// (DESIGN.md): virtual threads are simulated processes that block when
+// they issue I/O and wake on the completion event, and a bounded
+// device queue drained by a pluggable I/O scheduler sits in front of
+// the device. Two StackConfig knobs control it:
+//
+//   - QueueDepth bounds the scheduler's reorder window (0 = 32,
+//     NCQ-scale; 1 degenerates every scheduler to FCFS).
+//   - Scheduler picks the policy: "fcfs", "elevator" (C-LOOK), or
+//     "ncq" (shortest-seek-first with anti-starvation).
+//
+// Contention therefore emerges instead of being assumed: a 16-thread
+// workload at QueueDepth 32 completes more operations than at depth 1,
+// and its p99 latency inflates as reordering starves unlucky requests.
+// ThreadCountSweep sweeps the scaling dimension directly; see
+// examples/contention for the saturation curve.
+//
 // # What lives where
 //
 //   - Experiments, sweeps, fragility analysis, comparisons: this
@@ -145,6 +164,15 @@ func DeriveSeed(base, index uint64) uint64 { return sim.DeriveSeed(base, index) 
 // random reads at each file size.
 func FileSizeSweep(stack StackConfig, sizes []int64, runs int, duration, window Time, seed uint64) *Sweep {
 	return core.FileSizeSweep(stack, sizes, runs, duration, window, seed)
+}
+
+// ThreadCountSweep builds a scaling sweep: mk(threads) at each count
+// (nil mk selects the FileServer personality). Thread contention for
+// the device queue makes throughput saturate and tail latency inflate
+// as the count grows.
+func ThreadCountSweep(stack StackConfig, mk func(threads int) *Workload,
+	counts []int, runs int, duration, window Time, seed uint64) *Sweep {
+	return core.ThreadCountSweep(stack, mk, counts, runs, duration, window, seed)
 }
 
 // ClassifyWorkload reports which dimensions a workload exercises on a

@@ -40,6 +40,16 @@ type StackConfig struct {
 	// the (unrealistic) perfectly reproducible machine.
 	OSReserveJitter int64
 
+	// QueueDepth bounds the device queue's reorder window during the
+	// measured (event-driven) phase: how many outstanding requests the
+	// I/O scheduler may pick among. 0 selects device.DefaultQueueDepth
+	// (32, NCQ-scale); 1 degenerates every scheduler to FCFS.
+	QueueDepth int
+	// Scheduler names the I/O scheduler draining the device queue:
+	// "fcfs", "elevator" (C-LOOK), "ncq" (shortest-seek-first with
+	// anti-starvation). "" selects device.DefaultScheduler.
+	Scheduler string
+
 	// CachePolicy names the eviction policy ("lru" default; "fifo",
 	// "clock", "random", "2q", "arc").
 	CachePolicy string
@@ -163,6 +173,16 @@ func (c StackConfig) Build(rng *sim.RNG) (*vfs.Mount, error) {
 	if c.Readahead != "" {
 		vcfg.Readahead = cache.NewReadahead(c.Readahead)
 	}
+	if c.QueueDepth != 0 {
+		vcfg.QueueDepth = c.QueueDepth
+	}
+	if c.Scheduler != "" {
+		vcfg.Scheduler = c.Scheduler
+	}
+	// Fail fast on a bad scheduler name instead of at first Run.
+	if _, err := device.NewScheduler(vcfg.Scheduler); err != nil {
+		return nil, err
+	}
 	return vfs.New(fsys, dev, cache.NewHierarchy(l1, l2), vcfg), nil
 }
 
@@ -176,9 +196,13 @@ func (c StackConfig) String() string {
 	if fsName == "" {
 		fsName = "ext2"
 	}
-	return fmt.Sprintf("%s/%s ram=%dMB reserve=%d±%dMB policy=%s",
+	depth := c.QueueDepth
+	if depth <= 0 {
+		depth = device.DefaultQueueDepth
+	}
+	return fmt.Sprintf("%s/%s ram=%dMB reserve=%d±%dMB policy=%s sched=%s qd=%d",
 		fsName, dev, c.RAMBytes>>20, c.OSReserveBytes>>20, c.OSReserveJitter>>20,
-		orDefault(c.CachePolicy, "lru"))
+		orDefault(c.CachePolicy, "lru"), orDefault(c.Scheduler, device.DefaultScheduler), depth)
 }
 
 func orDefault(s, def string) string {

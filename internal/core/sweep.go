@@ -92,6 +92,46 @@ func (r *SweepResult) Fragility(fragileRSD float64) FragilityReport {
 	return rep
 }
 
+// ThreadCountSweep builds a scaling-dimension sweep: the workload
+// produced by mk(threads) at each thread count, on the given stack.
+// It is Table 1's "scaling" axis made runnable — with the event-driven
+// device queue, throughput saturates and tail latency inflates as
+// threads contend, instead of scaling by construction. mk == nil
+// selects the mixed-op FileServer personality.
+func ThreadCountSweep(stack StackConfig, mk func(threads int) *workload.Workload,
+	counts []int, runs int, duration, window sim.Time, seed uint64) *Sweep {
+	if mk == nil {
+		mk = func(threads int) *workload.Workload {
+			return workload.FileServer(1000, 128<<10, threads)
+		}
+	}
+	values := make([]float64, len(counts))
+	for i, n := range counts {
+		values[i] = float64(n)
+	}
+	return &Sweep{
+		Name: "threadcount",
+		Base: Experiment{
+			Stack:         stack,
+			Runs:          runs,
+			Duration:      duration,
+			MeasureWindow: window,
+			Seed:          seed,
+		},
+		Values: values,
+		Mutate: func(base Experiment, x float64) Experiment {
+			threads := int(x)
+			w := mk(threads)
+			base.Name = fmt.Sprintf("%s-%dthreads", w.Name, threads)
+			base.Workload = w
+			// Decorrelate runs across sweep points, as FileSizeSweep
+			// does: each point is a fresh set of machine states.
+			base.Seed += uint64(threads) * 7919
+			return base
+		},
+	}
+}
+
 // FileSizeSweep builds the Figure 1 sweep: the paper's random-read
 // workload at each file size, on the given stack.
 func FileSizeSweep(stack StackConfig, sizes []int64, runs int, duration, window sim.Time, seed uint64) *Sweep {

@@ -1,0 +1,182 @@
+package device
+
+import (
+	"repro/internal/sim"
+)
+
+// DefaultQueueDepth is the scheduler window used when a configuration
+// leaves QueueDepth unset — 32, on the scale of SATA NCQ's 31 tags.
+const DefaultQueueDepth = 32
+
+// Queue is the event-driven request queue in front of a Device: the
+// block layer of the simulated stack. Submissions enqueue; a pluggable
+// Scheduler picks the service order from a bounded reorder window of
+// Depth requests (overflow waits FIFO in an admission backlog, as the
+// OS queue above a device's tagged queue does); the device services
+// one request at a time and completion fires as an event on the loop.
+//
+// Queueing delay, scheduler choice, and window depth therefore show up
+// in operation latency exactly as they do on real hardware: a request
+// submitted while the device is deep in backlog completes late, and a
+// reordering scheduler at depth 32 beats depth 1 on scattered load.
+//
+// Like everything under the event kernel, Queue is not locked: the
+// kernel's one-baton discipline serializes all accesses (DESIGN.md
+// §4.2).
+type Queue struct {
+	dev   Device
+	loop  *sim.EventLoop
+	sched Scheduler
+	depth int
+
+	// backlog holds requests admitted beyond the window, FIFO.
+	// backlogHead indexes the front: pops advance it in O(1) and the
+	// slice compacts lazily, because write-back floods can queue
+	// hundreds of thousands of requests behind a millisecond-scale
+	// device and a copy-per-pop would go quadratic.
+	backlog     []*IORequest
+	backlogHead int
+	busy        bool
+	head        int64 // LBA just past the last dispatched transfer
+	seq         uint64
+	stats       QueueStats
+}
+
+// QueueStats counts queue-level events. Wait sums time from submission
+// to dispatch (queueing delay only, not service); MaxQueued is the
+// high-water mark of window + backlog occupancy.
+type QueueStats struct {
+	Submitted int64
+	Completed int64
+	Errors    int64
+	MaxQueued int
+	Wait      sim.Time
+}
+
+// MeanWait reports the average queueing delay per completed request.
+func (s QueueStats) MeanWait() sim.Time {
+	if s.Completed == 0 {
+		return 0
+	}
+	return s.Wait / sim.Time(s.Completed)
+}
+
+// NewQueue builds a queue of the given depth (<= 0 selects
+// DefaultQueueDepth) draining into dev under loop.
+func NewQueue(dev Device, sched Scheduler, depth int, loop *sim.EventLoop) *Queue {
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	return &Queue{dev: dev, loop: loop, sched: sched, depth: depth}
+}
+
+// Scheduler exposes the active policy.
+func (q *Queue) Scheduler() Scheduler { return q.sched }
+
+// Depth reports the reorder-window bound.
+func (q *Queue) Depth() int { return q.depth }
+
+// Stats returns a snapshot of the counters.
+func (q *Queue) Stats() QueueStats { return q.stats }
+
+// Pending reports requests submitted but not yet completed, including
+// the one in service.
+func (q *Queue) Pending() int {
+	n := q.sched.Len() + len(q.backlog) - q.backlogHead
+	if q.busy {
+		n++
+	}
+	return n
+}
+
+// Submit enqueues one request at virtual time at (clamped to the
+// loop's now — arrivals cannot predate the present). done, when
+// non-nil, is invoked in loop context at the request's completion time;
+// fire-and-forget submissions pass nil.
+func (q *Queue) Submit(at sim.Time, req Request, done func(sim.Time, error)) {
+	if now := q.loop.Now(); at < now {
+		at = now
+	}
+	r := &IORequest{Req: req, At: at, Seq: q.seq, Done: done}
+	q.seq++
+	q.stats.Submitted++
+	if q.sched.Len() < q.depth {
+		q.sched.Push(r)
+	} else {
+		q.backlog = append(q.backlog, r)
+	}
+	if n := q.Pending(); n > q.stats.MaxQueued {
+		q.stats.MaxQueued = n
+	}
+	if !q.busy {
+		q.dispatch(at)
+	}
+}
+
+// dispatch starts service of the scheduler's next pick at time now.
+// Requests that fail validation complete with the error at the same
+// instant and consume no device time. Their completion is scheduled,
+// not invoked inline: dispatch can run in submitter context (inside
+// Submit), and the Done contract promises loop context — a callback
+// that unparks the submitting process would otherwise deadlock.
+func (q *Queue) dispatch(now sim.Time) {
+	for !q.busy {
+		r := q.sched.Pop(now, q.head)
+		if r == nil {
+			return
+		}
+		q.admit()
+		q.stats.Wait += now - r.At
+		done, err := q.dev.Submit(now, r.Req)
+		if err != nil {
+			q.stats.Errors++
+			q.loop.Schedule(now, func() { q.finish(r, now, err) })
+			continue
+		}
+		q.busy = true
+		q.head = r.Req.LBA + r.Req.Sectors
+		q.loop.Schedule(done, func() { q.complete(r, err) })
+	}
+}
+
+// admit moves the oldest backlog entry into the freed window slot.
+func (q *Queue) admit() {
+	if q.backlogHead >= len(q.backlog) {
+		return
+	}
+	r := q.backlog[q.backlogHead]
+	q.backlog[q.backlogHead] = nil
+	q.backlogHead++
+	switch {
+	case q.backlogHead == len(q.backlog):
+		q.backlog = q.backlog[:0]
+		q.backlogHead = 0
+	case q.backlogHead >= 1024 && q.backlogHead*2 >= len(q.backlog):
+		// Compact once the dead prefix dominates: amortized O(1).
+		n := copy(q.backlog, q.backlog[q.backlogHead:])
+		for i := n; i < len(q.backlog); i++ {
+			q.backlog[i] = nil
+		}
+		q.backlog = q.backlog[:n]
+		q.backlogHead = 0
+	}
+	q.sched.Push(r)
+}
+
+// complete ends the in-service request, starts the next one, and only
+// then runs the completion callback — so a woken submitter observes a
+// queue that has already moved on, as a real interrupt handler would.
+func (q *Queue) complete(r *IORequest, err error) {
+	now := q.loop.Now()
+	q.busy = false
+	q.dispatch(now)
+	q.finish(r, now, err)
+}
+
+// finish runs the completion callback.
+func (q *Queue) finish(r *IORequest, at sim.Time, err error) {
+	q.stats.Completed++
+	if r.Done != nil {
+		r.Done(at, err)
+	}
+}

@@ -1,0 +1,294 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func mkQueue(t testing.TB, schedName string, depth int) (*Queue, *sim.EventLoop) {
+	t.Helper()
+	sched, err := NewScheduler(schedName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := sim.NewEventLoop(0)
+	return NewQueue(NewHDD(DefaultHDD(), sim.NewRNG(1)), sched, depth, loop), loop
+}
+
+func TestNewSchedulerNames(t *testing.T) {
+	for _, name := range []string{"", SchedFCFS, SchedElevator, SchedNCQ} {
+		s, err := NewScheduler(name)
+		if err != nil {
+			t.Errorf("NewScheduler(%q): %v", name, err)
+			continue
+		}
+		if name != "" && s.Name() != name {
+			t.Errorf("NewScheduler(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := NewScheduler("cfq"); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+// completionOrder submits scattered requests at t=0 and reports the
+// order their completions fire.
+func completionOrder(t *testing.T, schedName string, depth int, lbas []int64) []int64 {
+	t.Helper()
+	q, loop := mkQueue(t, schedName, depth)
+	var order []int64
+	for _, lba := range lbas {
+		lba := lba
+		q.Submit(0, Request{Op: Read, LBA: lba, Sectors: 8}, func(done sim.Time, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			order = append(order, lba)
+		})
+	}
+	loop.Run()
+	if q.Pending() != 0 {
+		t.Fatalf("queue not drained: %d pending", q.Pending())
+	}
+	return order
+}
+
+func TestFCFSPreservesArrivalOrder(t *testing.T) {
+	lbas := []int64{500000, 100, 900000, 40000, 700}
+	order := completionOrder(t, SchedFCFS, 32, lbas)
+	if fmt.Sprint(order) != fmt.Sprint(lbas) {
+		t.Errorf("fcfs order = %v, want arrival order %v", order, lbas)
+	}
+}
+
+func TestElevatorSortsByLBA(t *testing.T) {
+	lbas := []int64{500000, 100, 900000, 40000, 700}
+	order := completionOrder(t, SchedElevator, 32, lbas)
+	// The first request dispatches immediately (queue empty, head 0);
+	// the rest are serviced in ascending LBA order from there.
+	want := []int64{500000, 700000 - 200000} // placeholder, computed below
+	_ = want
+	rest := order[1:]
+	for i := 1; i < len(rest); i++ {
+		if rest[i-1] >= rest[i] && rest[i-1] < 900000 {
+			// ascending until the C-LOOK wrap
+			t.Fatalf("elevator order not an ascending sweep: %v", order)
+		}
+	}
+	if order[0] != 500000 {
+		t.Fatalf("first-submitted request should dispatch immediately, got %v", order)
+	}
+}
+
+func TestElevatorWrapsCLook(t *testing.T) {
+	// Head ends past 900000 after the initial dispatch sequence; a
+	// window holding only lower LBAs must wrap to the lowest.
+	q, loop := mkQueue(t, SchedElevator, 32)
+	var order []int64
+	submit := func(lba int64) {
+		q.Submit(0, Request{Op: Read, LBA: lba, Sectors: 8}, func(done sim.Time, err error) {
+			order = append(order, lba)
+		})
+	}
+	submit(900000) // dispatches immediately, head -> 900008
+	submit(300)
+	submit(200)
+	submit(100)
+	loop.Run()
+	if fmt.Sprint(order) != fmt.Sprint([]int64{900000, 100, 200, 300}) {
+		t.Errorf("C-LOOK wrap order = %v, want [900000 100 200 300]", order)
+	}
+}
+
+func TestNCQPicksNearest(t *testing.T) {
+	q, loop := mkQueue(t, SchedNCQ, 32)
+	var order []int64
+	submit := func(lba int64) {
+		q.Submit(0, Request{Op: Read, LBA: lba, Sectors: 8}, func(done sim.Time, err error) {
+			order = append(order, lba)
+		})
+	}
+	submit(500000) // dispatches immediately, head -> 500008
+	submit(100)    // far
+	submit(499000) // near the head: must be serviced next
+	loop.Run()
+	if fmt.Sprint(order) != fmt.Sprint([]int64{500000, 499000, 100}) {
+		t.Errorf("ncq order = %v, want nearest-first [500000 499000 100]", order)
+	}
+}
+
+func TestNCQAntiStarvation(t *testing.T) {
+	// A lone far request must eventually be serviced even under a
+	// steady stream of near requests.
+	q, loop := mkQueue(t, SchedNCQ, 64)
+	var farDone sim.Time
+	q.Submit(0, Request{Op: Read, LBA: 1, Sectors: 8}, func(done sim.Time, err error) {})
+	q.Submit(0, Request{Op: Read, LBA: 400_000_000, Sectors: 8}, func(done sim.Time, err error) {
+		farDone = done
+	})
+	// Feed near-LBA requests for a long time.
+	var feed func(i int)
+	feed = func(i int) {
+		if i >= 400 {
+			return
+		}
+		q.Submit(loop.Now(), Request{Op: Read, LBA: int64(i * 16), Sectors: 8}, func(done sim.Time, err error) {
+			feed(i + 1)
+		})
+	}
+	feed(2)
+	loop.Run()
+	if farDone == 0 {
+		t.Fatal("far request starved forever")
+	}
+	if farDone > ncqStarveLimit+sim.Second {
+		t.Errorf("far request waited %v; anti-starvation should cap near %v", farDone, ncqStarveLimit)
+	}
+}
+
+func TestQueueDepthBoundsReordering(t *testing.T) {
+	// At depth 1 every scheduler degenerates to FCFS.
+	lbas := []int64{500000, 100, 900000, 40000, 700}
+	for _, name := range []string{SchedFCFS, SchedElevator, SchedNCQ} {
+		order := completionOrder(t, name, 1, lbas)
+		if fmt.Sprint(order) != fmt.Sprint(lbas) {
+			t.Errorf("%s at depth 1: order = %v, want arrival order", name, order)
+		}
+	}
+}
+
+func TestQueueBacklogAdmission(t *testing.T) {
+	q, loop := mkQueue(t, SchedElevator, 2)
+	n := 0
+	for i := 0; i < 20; i++ {
+		q.Submit(0, Request{Op: Read, LBA: int64(i) * 1000, Sectors: 8}, func(done sim.Time, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			n++
+		})
+	}
+	if got := q.Stats().MaxQueued; got != 20 {
+		t.Errorf("MaxQueued = %d, want 20", got)
+	}
+	loop.Run()
+	if n != 20 {
+		t.Fatalf("completed %d of 20", n)
+	}
+	if q.Stats().Completed != 20 || q.Pending() != 0 {
+		t.Fatalf("stats = %+v, pending = %d", q.Stats(), q.Pending())
+	}
+	if q.Stats().Wait == 0 {
+		t.Error("no queueing delay recorded for a 20-deep burst")
+	}
+}
+
+func TestQueueElevatorBeatsFCFSUnderLoad(t *testing.T) {
+	finish := func(schedName string, depth int) sim.Time {
+		sched, _ := NewScheduler(schedName)
+		loop := sim.NewEventLoop(0)
+		q := NewQueue(NewHDD(DefaultHDD(), sim.NewRNG(7)), sched, depth, loop)
+		rng := sim.NewRNG(8)
+		var last sim.Time
+		for i := 0; i < 128; i++ {
+			q.Submit(0, Request{Op: Read, LBA: rng.Int63n(1 << 28), Sectors: 8},
+				func(done sim.Time, err error) {
+					if done > last {
+						last = done
+					}
+				})
+		}
+		loop.Run()
+		return last
+	}
+	fcfsT := finish(SchedFCFS, 32)
+	elevT := finish(SchedElevator, 32)
+	ncqT := finish(SchedNCQ, 32)
+	if elevT >= fcfsT {
+		t.Errorf("elevator (%v) not faster than fcfs (%v) on scattered load", elevT, fcfsT)
+	}
+	if ncqT >= fcfsT {
+		t.Errorf("ncq (%v) not faster than fcfs (%v) on scattered load", ncqT, fcfsT)
+	}
+}
+
+func TestQueueErrorCompletes(t *testing.T) {
+	q, loop := mkQueue(t, SchedFCFS, 8)
+	var gotErr error
+	okDone := false
+	q.Submit(0, Request{Op: Read, LBA: -5, Sectors: 8}, func(done sim.Time, err error) {
+		gotErr = err
+	})
+	q.Submit(0, Request{Op: Read, LBA: 0, Sectors: 8}, func(done sim.Time, err error) {
+		okDone = err == nil
+	})
+	loop.Run()
+	if !errors.Is(gotErr, ErrOutOfRange) {
+		t.Errorf("bad request completed with %v, want ErrOutOfRange", gotErr)
+	}
+	if !okDone {
+		t.Error("good request behind a bad one never completed")
+	}
+	if q.Stats().Errors != 1 {
+		t.Errorf("queue errors = %d, want 1", q.Stats().Errors)
+	}
+}
+
+// TestQueueErrorFromProcContext is the deadlock regression: a process
+// submitting a request that errors synchronously (validation failure
+// on an idle device) must still be woken by a loop-context completion
+// — an inline callback would Unpark the proc before it parked and
+// hang the simulation.
+func TestQueueErrorFromProcContext(t *testing.T) {
+	q, loop := mkQueue(t, SchedNCQ, 8)
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		loop.Go(0, func(p *sim.Proc) {
+			var gotErr error
+			q.Submit(p.Now(), Request{Op: Read, LBA: -1, Sectors: 8},
+				func(done sim.Time, err error) {
+					gotErr = err
+					p.Unpark()
+				})
+			p.Park()
+			if !errors.Is(gotErr, ErrOutOfRange) {
+				t.Errorf("woke with %v, want ErrOutOfRange", gotErr)
+			}
+		})
+		loop.Run()
+	}()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("loop deadlocked on synchronous error completion")
+	}
+}
+
+func TestQueueDeterminism(t *testing.T) {
+	run := func(schedName string) string {
+		sched, _ := NewScheduler(schedName)
+		loop := sim.NewEventLoop(0)
+		q := NewQueue(NewHDD(DefaultHDD(), sim.NewRNG(42)), sched, 16, loop)
+		rng := sim.NewRNG(43)
+		var trace string
+		for i := 0; i < 200; i++ {
+			lba := rng.Int63n(1 << 28)
+			q.Submit(loop.Now(), Request{Op: Read, LBA: lba, Sectors: 8},
+				func(done sim.Time, err error) {
+					trace += fmt.Sprintf("%d@%d ", lba, done)
+				})
+		}
+		loop.Run()
+		return trace
+	}
+	for _, name := range []string{SchedFCFS, SchedElevator, SchedNCQ} {
+		if a, b := run(name), run(name); a != b {
+			t.Errorf("%s: same-seed runs differ", name)
+		}
+	}
+}

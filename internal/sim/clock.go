@@ -37,8 +37,10 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 func (t Time) String() string { return time.Duration(t).String() }
 
 // Clock is a virtual clock. The zero value is a clock at time zero,
-// ready to use. Clock is not safe for concurrent use; the simulation
-// core is single-goroutine by design (see DESIGN.md §4.2).
+// ready to use. Clock is not locked: the simulation core hands control
+// to exactly one runnable goroutine at a time — the event loop or the
+// single Proc holding the baton — so clock accesses are already
+// serialized (see DESIGN.md §4.2).
 type Clock struct {
 	now Time
 }

@@ -1,0 +1,193 @@
+package sim
+
+// This file is the discrete-event kernel: a binary heap of timestamped
+// events with deterministic sequence-number tie-breaking, plus Proc, a
+// goroutine-backed simulated process that can block on events. See
+// DESIGN.md §2 for the kernel and §4 for the determinism rules.
+//
+// The kernel is strictly single-baton: at any instant exactly one
+// goroutine — the loop owner or the one Proc it handed control to — is
+// runnable. Handoffs go through unbuffered channels, so the race
+// detector sees a total happens-before order and shared simulation
+// state needs no locks.
+
+// EventLoop is a discrete-event scheduler under virtual time. Events
+// fire in (time, sequence) order: ties at the same virtual instant
+// resolve in scheduling order, which makes every run bit-identical
+// regardless of host parallelism or GC behavior.
+type EventLoop struct {
+	clock Clock
+	heap  []event
+	seq   uint64
+}
+
+// event is one heap entry.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// NewEventLoop returns a loop whose clock starts at the given time.
+func NewEventLoop(start Time) *EventLoop {
+	l := &EventLoop{}
+	l.clock.AdvanceTo(start)
+	return l
+}
+
+// Now reports the loop's current virtual time.
+func (l *EventLoop) Now() Time { return l.clock.Now() }
+
+// Clock exposes the loop's clock (read-only use expected).
+func (l *EventLoop) Clock() *Clock { return &l.clock }
+
+// Len reports the number of pending events.
+func (l *EventLoop) Len() int { return len(l.heap) }
+
+// Schedule enqueues fn to run at virtual time at. Times in the past
+// are clamped to now: an event can never rewind the clock.
+func (l *EventLoop) Schedule(at Time, fn func()) {
+	if at < l.clock.Now() {
+		at = l.clock.Now()
+	}
+	l.heap = append(l.heap, event{at: at, seq: l.seq, fn: fn})
+	l.seq++
+	l.up(len(l.heap) - 1)
+}
+
+// Step pops and runs the earliest event, advancing the clock to its
+// timestamp. It reports whether an event ran.
+func (l *EventLoop) Step() bool {
+	if len(l.heap) == 0 {
+		return false
+	}
+	ev := l.heap[0]
+	n := len(l.heap) - 1
+	l.heap[0] = l.heap[n]
+	l.heap[n] = event{} // release the closure
+	l.heap = l.heap[:n]
+	if n > 0 {
+		l.down(0)
+	}
+	l.clock.AdvanceTo(ev.at)
+	ev.fn()
+	return true
+}
+
+// Run processes events until none remain. Procs spawned with Go count
+// as events while runnable, so Run returns only when every process has
+// finished and all completions have drained.
+func (l *EventLoop) Run() {
+	for l.Step() {
+	}
+}
+
+// less orders events by (time, sequence).
+func (l *EventLoop) less(i, j int) bool {
+	if l.heap[i].at != l.heap[j].at {
+		return l.heap[i].at < l.heap[j].at
+	}
+	return l.heap[i].seq < l.heap[j].seq
+}
+
+func (l *EventLoop) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !l.less(i, parent) {
+			break
+		}
+		l.heap[i], l.heap[parent] = l.heap[parent], l.heap[i]
+		i = parent
+	}
+}
+
+func (l *EventLoop) down(i int) {
+	n := len(l.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		next := left
+		if right := left + 1; right < n && l.less(right, left) {
+			next = right
+		}
+		if !l.less(next, i) {
+			return
+		}
+		l.heap[i], l.heap[next] = l.heap[next], l.heap[i]
+		i = next
+	}
+}
+
+// Proc is a simulated process: a goroutine that runs simulation code
+// and yields control back to the event loop whenever it waits for
+// virtual time to pass or for an external wake-up. Exactly one Proc
+// runs at a time; the loop hands it the baton and blocks until the
+// Proc parks or finishes.
+type Proc struct {
+	loop *EventLoop
+	now  Time
+	wake chan Time     // loop -> proc: resume, carrying the current time
+	park chan struct{} // proc -> loop: parked or finished
+}
+
+// Go spawns a process that begins executing body at virtual time
+// start. The body runs on its own goroutine but only while it holds
+// the baton; it must interact with virtual time exclusively through
+// its Proc.
+func (l *EventLoop) Go(start Time, body func(p *Proc)) *Proc {
+	p := &Proc{loop: l, wake: make(chan Time), park: make(chan struct{})}
+	go func() {
+		p.now = <-p.wake
+		body(p)
+		p.park <- struct{}{}
+	}()
+	l.Schedule(start, p.resume)
+	return p
+}
+
+// resume hands the baton to the process and blocks until it parks or
+// finishes. It runs in loop context (inside an event).
+func (p *Proc) resume() {
+	p.wake <- p.loop.Now()
+	<-p.park
+}
+
+// Now reports the process's local virtual time. It can run ahead of
+// the loop clock between yields (CPU-only work is accounted locally);
+// it never lags it after a wait.
+func (p *Proc) Now() Time { return p.now }
+
+// Loop exposes the owning event loop.
+func (p *Proc) Loop() *EventLoop { return p.loop }
+
+// WaitUntil parks the process until virtual time t, yielding the baton
+// to the loop. If t is not in the future the call returns immediately
+// without yielding. It returns the process's time afterwards.
+func (p *Proc) WaitUntil(t Time) Time {
+	if t <= p.now {
+		return p.now
+	}
+	p.loop.Schedule(t, p.resume)
+	p.park <- struct{}{}
+	p.now = <-p.wake
+	return p.now
+}
+
+// Sleep parks the process for d of virtual time.
+func (p *Proc) Sleep(d Time) Time { return p.WaitUntil(p.now + d) }
+
+// Park yields the baton until some event calls Unpark. It returns the
+// virtual time at which the process was woken. The caller must have
+// arranged a wake-up first, or the process sleeps forever.
+func (p *Proc) Park() Time {
+	p.park <- struct{}{}
+	p.now = <-p.wake
+	return p.now
+}
+
+// Unpark resumes a parked process at the loop's current time. It must
+// be called from loop context (inside an event callback) and hands the
+// baton to the process until it parks again.
+func (p *Proc) Unpark() { p.resume() }

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestEventLoopOrdersByTime(t *testing.T) {
+	l := NewEventLoop(0)
+	var got []int
+	for i, at := range []Time{30, 10, 20, 5, 25} {
+		i, at := i, at
+		l.Schedule(at, func() {
+			got = append(got, i)
+			if l.Now() != at {
+				t.Errorf("event %d ran at %v, want %v", i, l.Now(), at)
+			}
+		})
+	}
+	l.Run()
+	want := []int{3, 1, 2, 4, 0}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("order = %v, want %v", got, want)
+	}
+}
+
+func TestEventLoopTieBreaksBySequence(t *testing.T) {
+	l := NewEventLoop(0)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		l.Schedule(42, func() { got = append(got, i) })
+	}
+	l.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events ran out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestEventLoopClampsPast(t *testing.T) {
+	l := NewEventLoop(100)
+	ran := false
+	l.Schedule(10, func() {
+		ran = true
+		if l.Now() != 100 {
+			t.Errorf("past event ran at %v, want clamp to 100", l.Now())
+		}
+	})
+	l.Run()
+	if !ran {
+		t.Fatal("past-scheduled event never ran")
+	}
+}
+
+func TestEventLoopCascade(t *testing.T) {
+	// Events scheduling further events keep the clock monotone.
+	l := NewEventLoop(0)
+	var times []Time
+	var chain func()
+	chain = func() {
+		times = append(times, l.Now())
+		if len(times) < 5 {
+			l.Schedule(l.Now()+7, chain)
+		}
+	}
+	l.Schedule(3, chain)
+	l.Run()
+	for i := 1; i < len(times); i++ {
+		if times[i] != times[i-1]+7 {
+			t.Fatalf("cascade times %v", times)
+		}
+	}
+}
+
+func TestProcSleepAndInterleave(t *testing.T) {
+	l := NewEventLoop(0)
+	var trace []string
+	mk := func(name string, period Time) func(*Proc) {
+		return func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Sleep(period)
+				trace = append(trace, fmt.Sprintf("%s@%d", name, p.Now()))
+			}
+		}
+	}
+	l.Go(0, mk("a", 10))
+	l.Go(0, mk("b", 15))
+	l.Run()
+	// At t=30 both procs wake; b scheduled its wake first (at t=15,
+	// vs a's at t=20), so the sequence tie-break runs b first.
+	want := "[a@10 b@15 a@20 b@30 a@30 b@45]"
+	if got := fmt.Sprint(trace); got != want {
+		t.Errorf("interleaving = %v, want %v", got, want)
+	}
+}
+
+func TestProcParkUnpark(t *testing.T) {
+	l := NewEventLoop(0)
+	var woke Time
+	var p *Proc
+	p = l.Go(0, func(p *Proc) {
+		woke = p.Park()
+	})
+	l.Schedule(90, func() { p.Unpark() })
+	l.Run()
+	if woke != 90 {
+		t.Errorf("proc woke at %v, want 90", woke)
+	}
+}
+
+func TestProcDeterminism(t *testing.T) {
+	run := func() string {
+		l := NewEventLoop(0)
+		var trace []string
+		for i := 0; i < 8; i++ {
+			i := i
+			l.Go(Time(i%3), func(p *Proc) {
+				for j := 0; j < 4; j++ {
+					p.Sleep(Time(1 + (i*7+j*13)%5))
+					trace = append(trace, fmt.Sprintf("%d:%d@%d", i, j, p.Now()))
+				}
+			})
+		}
+		l.Run()
+		return fmt.Sprint(trace)
+	}
+	want := run()
+	for i := 0; i < 10; i++ {
+		if got := run(); got != want {
+			t.Fatalf("run %d differs:\n%s\nvs\n%s", i, got, want)
+		}
+	}
+}
+
+func TestProcRunsAheadLocally(t *testing.T) {
+	// WaitUntil in the past is a no-op: CPU-only work is accounted on
+	// the proc's local clock without a yield.
+	l := NewEventLoop(0)
+	yields := 0
+	l.Go(5, func(p *Proc) {
+		before := p.Now()
+		if got := p.WaitUntil(before - 3); got != before {
+			t.Errorf("WaitUntil(past) = %v, want %v", got, before)
+		}
+		p.Sleep(10)
+		yields++
+	})
+	l.Run()
+	if yields != 1 {
+		t.Fatal("proc body did not complete")
+	}
+}
+
+func BenchmarkEventLoopScheduleStep(b *testing.B) {
+	l := NewEventLoop(0)
+	for i := 0; i < b.N; i++ {
+		l.Schedule(l.Now()+1, func() {})
+		l.Step()
+	}
+}
+
+func BenchmarkProcHandoff(b *testing.B) {
+	l := NewEventLoop(0)
+	p := l.Go(0, func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	_ = p
+	b.ResetTimer()
+	l.Run()
+}

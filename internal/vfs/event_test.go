@@ -1,0 +1,86 @@
+package vfs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestEventModeBlockingRead checks the blocking/completion plumbing:
+// inside an event-mode process, a cold read parks until the device
+// completion fires, and two processes reading concurrently contend for
+// the one device.
+func TestEventModeBlockingRead(t *testing.T) {
+	m := newMount(t, 4, 0) // tiny cache: everything misses
+	fd := mkFile(t, m, "/f", 1<<20)
+	if _, err := m.SyncAll(0); err != nil {
+		t.Fatal(err)
+	}
+	m.PC.L1.Flush()
+
+	loop := sim.NewEventLoop(0)
+	if err := m.BeginEvents(loop); err != nil {
+		t.Fatal(err)
+	}
+	var solo sim.Time
+	loop.Go(0, func(p *sim.Proc) {
+		m.SetProc(p)
+		_, done, err := m.Read(p.Now(), fd, 0, 4096)
+		if err != nil {
+			t.Error(err)
+		}
+		solo = done
+	})
+	loop.Run()
+	m.EndEvents()
+	if solo == 0 {
+		t.Fatal("event-mode read did not complete")
+	}
+
+	// Two concurrent cold readers: one must queue behind the other, so
+	// the later completion exceeds the solo latency.
+	m.PC.L1.Flush()
+	loop = sim.NewEventLoop(0)
+	if err := m.BeginEvents(loop); err != nil {
+		t.Fatal(err)
+	}
+	var dones []sim.Time
+	for i := 0; i < 2; i++ {
+		off := int64(i) * 512 << 10
+		loop.Go(0, func(p *sim.Proc) {
+			m.SetProc(p)
+			_, done, err := m.Read(p.Now(), fd, off, 4096)
+			if err != nil {
+				t.Error(err)
+			}
+			dones = append(dones, done)
+		})
+	}
+	loop.Run()
+	stats := m.EndEvents()
+	if len(dones) != 2 {
+		t.Fatalf("completions = %d, want 2", len(dones))
+	}
+	last := dones[0]
+	if dones[1] > last {
+		last = dones[1]
+	}
+	if last <= solo {
+		t.Errorf("contended completion %v not later than solo %v", last, solo)
+	}
+	if stats.Completed == 0 {
+		t.Error("queue stats recorded no completions")
+	}
+}
+
+// TestEventModeBadScheduler ensures BeginEvents surfaces configuration
+// errors.
+func TestEventModeBadScheduler(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheduler = "deadline"
+	m := newMount(t, 64, 0)
+	m.cfg = cfg
+	if err := m.BeginEvents(sim.NewEventLoop(0)); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}

@@ -209,7 +209,7 @@ func (m *Mount) readPage(at sim.Time, ino fs.Ino, page, filePages int64) (sim.Ti
 			m.writebackEvictions(now, m.PC.Insert(id, false))
 			break
 		}
-		done, err := m.Dev.Submit(now, device.Request{
+		done, err := m.submitSync(now, device.Request{
 			Op: device.Read, LBA: blockLBA(exts[0].DiskBlock), Sectors: sectorsPerBlock,
 		})
 		if err != nil {
@@ -240,12 +240,15 @@ func (m *Mount) prefetch(at sim.Time, ino fs.Ino, start, n int64) {
 			continue
 		}
 		// Metadata needed for the mapping is read asynchronously too.
-		if _, err := m.execSteps(at, steps, false); err != nil {
+		if err := m.prefetchSteps(at, steps); err != nil {
 			continue
 		}
-		if _, err := m.Dev.Submit(at, device.Request{
+		// A prefetched page only stays resident if its read succeeds;
+		// on failure the demand read retries and surfaces the error.
+		err = m.submitAsync(at, device.Request{
 			Op: device.Read, LBA: blockLBA(exts[0].DiskBlock), Sectors: sectorsPerBlock,
-		}); err != nil {
+		}, func(error) { m.PC.Invalidate(id) })
+		if err != nil {
 			continue
 		}
 		m.writebackEvictions(at, m.PC.InsertPrefetched(id))
@@ -318,7 +321,7 @@ func (m *Mount) Fsync(at sim.Time, fd *FD) (sim.Time, error) {
 		ids = append(ids, id)
 	}
 	if len(reqs) > 0 {
-		done, err := device.SubmitBatch(m.Dev, now, reqs)
+		done, err := m.submitBatchSync(now, reqs)
 		if err != nil {
 			return now, err
 		}

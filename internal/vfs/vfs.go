@@ -49,6 +49,13 @@ type Config struct {
 	AtimeUpdates bool
 	// Readahead overrides the file system's hint when non-nil.
 	Readahead cache.Readahead
+	// QueueDepth bounds the device queue's reorder window during
+	// event-driven runs (<= 0 selects device.DefaultQueueDepth). With
+	// depth 1 every scheduler degenerates to FCFS.
+	QueueDepth int
+	// Scheduler names the I/O scheduler for event-driven runs:
+	// "fcfs", "elevator", "ncq" ("" selects device.DefaultScheduler).
+	Scheduler string
 }
 
 // DefaultConfig returns costs calibrated to a 2.8 GHz Xeon of the
@@ -72,8 +79,19 @@ type Stats struct {
 	WritebackRounds, WritebackPages                                         int64
 }
 
-// Mount is a mounted stack. Not safe for concurrent use; the workload
-// engine serializes operations in virtual-time order.
+// Mount is a mounted stack. It is not locked: callers are either a
+// single goroutine (immediate mode) or processes serialized by the
+// event kernel's one-baton discipline (event mode, DESIGN.md §4.2).
+//
+// The mount runs in one of two modes. In immediate mode (the default)
+// every device access resolves synchronously through Device.Submit —
+// setup, trace replay, and the nano raw-device tests use it. Between
+// BeginEvents and EndEvents the mount is in event mode: device
+// accesses go through a device.Queue drained by an I/O scheduler, the
+// issuing process blocks until its request's completion event fires,
+// and asynchronous work (write-back, prefetch, journal pushes) merely
+// occupies the queue — so contention, queueing delay, and scheduler
+// choice emerge in operation latency.
 type Mount struct {
 	FS  fs.FileSystem
 	Dev device.Device
@@ -85,6 +103,14 @@ type Mount struct {
 	sizes   map[fs.Ino]int64 // cached file sizes (inode cache)
 	stats   Stats
 	scratch []cache.PageID // reusable buffer for dirty collection
+
+	// Event mode (nil outside BeginEvents..EndEvents).
+	loop  *sim.EventLoop
+	queue *device.Queue
+	// cur is the process currently holding the baton. Every yield
+	// point restores it on resume, so nested blocking submissions
+	// inside one VFS call chain stay bound to their own process.
+	cur *sim.Proc
 }
 
 // New mounts filesystem fsys on dev behind the cache hierarchy pc.
@@ -126,6 +152,130 @@ func (m *Mount) ResetStats() {
 // Readahead exposes the active readahead policy.
 func (m *Mount) Readahead() cache.Readahead { return m.ra }
 
+// --- Event mode ------------------------------------------------------
+
+// BeginEvents switches the mount into event mode on loop: a
+// device.Queue (sized by Config.QueueDepth, drained by
+// Config.Scheduler) is placed in front of the device, and subsequent
+// operations must run inside processes registered with SetProc. The
+// workload engine calls this at the start of every measured run.
+func (m *Mount) BeginEvents(loop *sim.EventLoop) error {
+	sched, err := device.NewScheduler(m.cfg.Scheduler)
+	if err != nil {
+		return err
+	}
+	m.loop = loop
+	m.queue = device.NewQueue(m.Dev, sched, m.cfg.QueueDepth, loop)
+	return nil
+}
+
+// EndEvents leaves event mode, returning the drained queue's counters.
+// The caller must have run the loop dry first.
+func (m *Mount) EndEvents() device.QueueStats {
+	stats := device.QueueStats{}
+	if m.queue != nil {
+		stats = m.queue.Stats()
+	}
+	m.loop, m.queue, m.cur = nil, nil, nil
+	return stats
+}
+
+// Queue exposes the event-mode device queue (nil in immediate mode).
+func (m *Mount) Queue() *device.Queue { return m.queue }
+
+// SetProc binds subsequent operations to process p. The engine calls
+// it whenever a virtual thread regains the baton.
+func (m *Mount) SetProc(p *sim.Proc) { m.cur = p }
+
+// submitSync issues one request and blocks until it completes: in
+// immediate mode through the device directly, in event mode by
+// enqueueing and parking the current process until the completion
+// event fires. The returned time includes queueing delay.
+func (m *Mount) submitSync(at sim.Time, req device.Request) (sim.Time, error) {
+	if m.queue == nil || m.cur == nil {
+		return m.Dev.Submit(at, req)
+	}
+	p := m.cur
+	p.WaitUntil(at)
+	m.cur = p // restore after a potential yield
+	var done sim.Time
+	var rerr error
+	m.queue.Submit(p.Now(), req, func(t sim.Time, err error) {
+		done, rerr = t, err
+		p.Unpark()
+	})
+	p.Park()
+	m.cur = p
+	return done, rerr
+}
+
+// submitAsync issues one fire-and-forget request: the device does the
+// work but nobody waits. In event mode the arrival is scheduled at
+// `at` so queue arrivals stay globally time-ordered even when the
+// issuing process has run ahead of the loop clock; onErr, when
+// non-nil, runs in loop context if the request eventually fails.
+//
+// The returned error is only meaningful in immediate mode, where the
+// submission is synchronous underneath; in event mode it is always
+// nil and failures reach onErr (or just the queue's error counter).
+func (m *Mount) submitAsync(at sim.Time, req device.Request, onErr func(error)) error {
+	if m.queue == nil {
+		_, err := m.Dev.Submit(at, req)
+		if err != nil && onErr != nil {
+			onErr(err)
+		}
+		return err
+	}
+	q := m.queue
+	var done func(sim.Time, error)
+	if onErr != nil {
+		done = func(_ sim.Time, err error) {
+			if err != nil {
+				onErr(err)
+			}
+		}
+	}
+	m.loop.Schedule(at, func() { q.Submit(at, req, done) })
+	return nil
+}
+
+// submitBatchSync issues a set of requests and blocks until all of
+// them complete, returning the last completion. In immediate mode the
+// batch is an elevator pass (device.SubmitBatch); in event mode the
+// requests enter the queue together and the configured scheduler
+// orders them.
+func (m *Mount) submitBatchSync(at sim.Time, reqs []device.Request) (sim.Time, error) {
+	if len(reqs) == 0 {
+		return at, nil
+	}
+	if m.queue == nil || m.cur == nil {
+		return device.SubmitBatch(m.Dev, at, reqs)
+	}
+	p := m.cur
+	p.WaitUntil(at)
+	m.cur = p
+	remaining := len(reqs)
+	var last sim.Time
+	var firstErr error
+	for _, r := range reqs {
+		m.queue.Submit(p.Now(), r, func(t sim.Time, err error) {
+			remaining--
+			if t > last {
+				last = t
+			}
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if remaining == 0 {
+				p.Unpark()
+			}
+		})
+	}
+	p.Park()
+	m.cur = p
+	return last, firstErr
+}
+
 // blockLBA converts a file-system block number to a device LBA.
 func blockLBA(block int64) int64 { return block * sectorsPerBlock }
 
@@ -136,7 +286,7 @@ func (m *Mount) readBlock(at sim.Time, block int64) (sim.Time, error) {
 	if m.PC.Lookup(id) != cache.Miss {
 		return at + m.cfg.HitPerPage, nil
 	}
-	done, err := m.Dev.Submit(at, device.Request{Op: device.Read, LBA: blockLBA(block), Sectors: sectorsPerBlock})
+	done, err := m.submitSync(at, device.Request{Op: device.Read, LBA: blockLBA(block), Sectors: sectorsPerBlock})
 	if err != nil {
 		return at, err
 	}
@@ -158,13 +308,21 @@ func (m *Mount) execSteps(at sim.Time, steps []fs.IOStep, chargeSync bool) (sim.
 			if err != nil {
 				return now, err
 			}
-		case s.Sync:
-			done, err := m.Dev.Submit(now, device.Request{Op: device.Write, LBA: blockLBA(s.Block), Sectors: sectorsPerBlock})
+		case s.Sync && chargeSync:
+			done, err := m.submitSync(now, device.Request{Op: device.Write, LBA: blockLBA(s.Block), Sectors: sectorsPerBlock})
 			if err != nil {
 				return now, err
 			}
-			if chargeSync {
-				now = done
+			now = done
+		case s.Sync:
+			// Journal pushes nobody waits on: the device does the work
+			// asynchronously, delaying later requests. In immediate
+			// mode the submission is synchronous underneath, so its
+			// error still surfaces to the operation; in event mode an
+			// async failure lands in the queue's error counter, as a
+			// real fire-and-forget write would.
+			if err := m.submitAsync(now, device.Request{Op: device.Write, LBA: blockLBA(s.Block), Sectors: sectorsPerBlock}, nil); err != nil {
+				return now, err
 			}
 		default:
 			id := fs.MetaPage(s.Block)
@@ -175,6 +333,41 @@ func (m *Mount) execSteps(at sim.Time, steps []fs.IOStep, chargeSync bool) (sim.
 		}
 	}
 	return now, nil
+}
+
+// prefetchSteps executes metadata IOSteps on the prefetch path, where
+// nothing may block: reads of non-resident blocks are issued
+// fire-and-forget (the block becomes resident immediately, the device
+// time it consumes delays later misses), deferred writes dirty cache
+// pages, sync writes go to the device asynchronously. A failed read
+// leaves (or makes) its block non-resident so a later demand read
+// retries the device and surfaces the error; in immediate mode the
+// failure also aborts the remaining steps, as the old synchronous
+// path did.
+func (m *Mount) prefetchSteps(at sim.Time, steps []fs.IOStep) error {
+	for _, s := range steps {
+		switch {
+		case !s.Write:
+			id := fs.MetaPage(s.Block)
+			if m.PC.Lookup(id) != cache.Miss {
+				continue
+			}
+			err := m.submitAsync(at, device.Request{Op: device.Read, LBA: blockLBA(s.Block), Sectors: sectorsPerBlock},
+				func(error) { m.PC.Invalidate(id) })
+			if err != nil {
+				return err
+			}
+			m.writebackEvictions(at, m.PC.Insert(id, false))
+		case s.Sync:
+			m.submitAsync(at, device.Request{Op: device.Write, LBA: blockLBA(s.Block), Sectors: sectorsPerBlock}, nil)
+		default:
+			id := fs.MetaPage(s.Block)
+			if !m.PC.MarkDirty(id) {
+				m.writebackEvictions(at, m.PC.Insert(id, true))
+			}
+		}
+	}
+	return nil
 }
 
 // writebackEvictions asynchronously writes dirty pages evicted from
@@ -189,7 +382,7 @@ func (m *Mount) writebackEvictions(at sim.Time, evicted []cache.Evicted) {
 		if !ok {
 			continue
 		}
-		m.Dev.Submit(at, device.Request{Op: device.Write, LBA: lba, Sectors: sectorsPerBlock})
+		m.submitAsync(at, device.Request{Op: device.Write, LBA: lba, Sectors: sectorsPerBlock}, nil)
 	}
 }
 
@@ -239,7 +432,17 @@ func (m *Mount) maybeWriteback(at sim.Time) {
 	if len(reqs) == 0 {
 		return
 	}
-	device.SubmitBatch(m.Dev, at, reqs)
+	if m.queue != nil {
+		// Event mode: the flusher dumps the batch into the device
+		// queue and the configured I/O scheduler orders it — the
+		// elevator ablation now happens where it does in a real block
+		// layer.
+		for _, r := range reqs {
+			m.submitAsync(at, r, nil)
+		}
+	} else {
+		device.SubmitBatch(m.Dev, at, reqs)
+	}
 	for _, id := range flushed {
 		l1.Clean(id)
 	}
@@ -265,7 +468,7 @@ func (m *Mount) SyncAll(at sim.Time) (sim.Time, error) {
 	done := at
 	if len(reqs) > 0 {
 		var err error
-		done, err = device.SubmitBatch(m.Dev, at, reqs)
+		done, err = m.submitBatchSync(at, reqs)
 		if err != nil {
 			return done, err
 		}

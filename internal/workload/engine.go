@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/device"
 	"repro/internal/fs"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -67,10 +68,40 @@ type threadState struct {
 	iter    int
 	cursors map[string]int64 // sequential-read cursors per fileset
 	fds     map[string]*vfs.FD
+	fdOrder []string // open order, so fd picks are deterministic
 	rng     *sim.RNG
 }
 
+// dropFD forgets the thread's handle for path, keeping fdOrder in sync.
+func (th *threadState) dropFD(path string) {
+	if _, ok := th.fds[path]; !ok {
+		return
+	}
+	delete(th.fds, path)
+	for i, p := range th.fdOrder {
+		if p == path {
+			th.fdOrder = append(th.fdOrder[:i], th.fdOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// firstFD returns the least-recently-opened live handle, nil if none.
+func (th *threadState) firstFD() (string, *vfs.FD) {
+	if len(th.fdOrder) == 0 {
+		return "", nil
+	}
+	path := th.fdOrder[0]
+	return path, th.fds[path]
+}
+
 // Engine runs one Workload against one Mount under virtual time.
+//
+// Setup executes in immediate mode (synchronous device accesses); Run
+// executes on a discrete-event kernel: every virtual thread is a
+// sim.Proc that blocks when it issues I/O and wakes on the completion
+// event, so N threads genuinely contend for the device queue and
+// queueing delay appears in the recorded latencies.
 type Engine struct {
 	m       *vfs.Mount
 	w       *Workload
@@ -79,6 +110,7 @@ type Engine struct {
 	threads []*threadState
 	probe   *Probe
 	counter metrics.Counter
+	qstats  device.QueueStats // device-queue counters from the last Run
 }
 
 // NewEngine prepares (but does not set up) an engine. The workload
@@ -216,37 +248,52 @@ func (e *Engine) DropCaches() {
 // Run executes the workload from time `from` until every thread's
 // clock passes `until`. It returns the final virtual time (max over
 // threads).
+//
+// Run is a discrete-event simulation: threads are processes on an
+// event loop ordered by (time, sequence), a thread issuing I/O parks
+// until its completion event fires, and ops start in global
+// virtual-time order — so the result is bit-identical for a given
+// (workload, seed) at any host parallelism.
 func (e *Engine) Run(from, until sim.Time) (sim.Time, error) {
+	loop := sim.NewEventLoop(from)
+	if err := e.m.BeginEvents(loop); err != nil {
+		return from, err
+	}
+	var runErr error
 	for _, th := range e.threads {
+		th := th
 		th.now = from
-	}
-	for {
-		// Pick the thread with the earliest clock still inside the
-		// run window.
-		var next *threadState
-		for _, th := range e.threads {
-			if th.now >= until {
-				continue
+		loop.Go(from, func(p *sim.Proc) {
+			for th.now < until && runErr == nil {
+				// Align the op's start with the global clock so ops
+				// across threads execute in virtual-time order, then
+				// rebind the mount to this thread's process.
+				p.WaitUntil(th.now)
+				e.m.SetProc(p)
+				if err := e.step(th); err != nil {
+					if runErr == nil {
+						runErr = err
+					}
+					return
+				}
 			}
-			if next == nil || th.now < next.now {
-				next = th
-			}
-		}
-		if next == nil {
-			break
-		}
-		if err := e.step(next); err != nil {
-			return next.now, err
-		}
+		})
 	}
+	loop.Run() // drains thread procs and all async completions
+	e.qstats = e.m.EndEvents()
 	var end sim.Time
 	for _, th := range e.threads {
 		if th.now > end {
 			end = th.now
 		}
 	}
-	return end, nil
+	return end, runErr
 }
+
+// QueueStats reports the device-queue counters accumulated during the
+// last Run: submissions, completions, the queue-occupancy high-water
+// mark, and total queueing delay.
+func (e *Engine) QueueStats() device.QueueStats { return e.qstats }
 
 // step executes one flowop on one thread, advancing its clock.
 func (e *Engine) step(th *threadState) error {
@@ -293,6 +340,7 @@ func (e *Engine) openFD(th *threadState, path string) (*vfs.FD, error) {
 	}
 	th.now = done
 	th.fds[path] = fd
+	th.fdOrder = append(th.fdOrder, path)
 	return fd, nil
 }
 
@@ -413,7 +461,7 @@ func (e *Engine) execOp(th *threadState, op Flowop) error {
 		st.names[idx] = st.names[len(st.names)-1]
 		st.names = st.names[:len(st.names)-1]
 		for _, t := range e.threads {
-			delete(t.fds, path)
+			t.dropFD(path)
 			delete(t.cursors, path)
 		}
 		done, err = e.m.Unlink(start, path)
@@ -435,18 +483,15 @@ func (e *Engine) execOp(th *threadState, op Flowop) error {
 		_, err = e.openFD(th, path)
 		done = th.now
 	case OpClose:
-		for path, fd := range th.fds {
+		// Close the least-recently-opened handle: map iteration order
+		// would make the choice (and thus all timings) nondeterministic.
+		if path, fd := th.firstFD(); fd != nil {
 			e.m.Close(fd)
-			delete(th.fds, path)
-			break
+			th.dropFD(path)
 		}
 		done = start
 	case OpFsync:
-		var target *vfs.FD
-		for _, fd := range th.fds {
-			target = fd
-			break
-		}
+		_, target := th.firstFD()
 		if target == nil {
 			th.now = start
 			return nil
