@@ -33,7 +33,7 @@ func main() {
 		jitterMB     = flag.Int64("jitter", 2, "per-run OS reserve stddev in MB")
 		policy       = flag.String("policy", "lru", "cache eviction policy: lru, fifo, clock, random, 2q, arc")
 		queueDepth   = flag.Int("queue-depth", 0, "device queue reorder window (0 = 32; 1 disables reordering)")
-		sched        = flag.String("sched", "", "I/O scheduler: fcfs, elevator, ncq (default elevator)")
+		sched        = flag.String("sched", "", "I/O scheduler: fcfs, elevator, ncq, cfq (default elevator)")
 		readahead    = flag.String("readahead", "", "readahead override: none, fixed, adaptive (default: FS hint)")
 		l2MB         = flag.Int64("l2", 0, "flash second-tier cache in MB (0 = none)")
 		runs         = flag.Int("runs", 5, "independent runs")
@@ -142,6 +142,34 @@ func main() {
 	s := res.Throughput
 	fmt.Printf("\nthroughput: mean=%.1f ops/s  sd=%.1f  rsd=%.1f%%  95%% CI [%.1f, %.1f]\n",
 		s.Mean, s.StdDev, s.RSD*100, s.CI95Lo, s.CI95Hi)
+	if n := w.TotalThreads(); n > 1 {
+		// Per-thread fairness: who actually got serviced. Jain = 1.0
+		// means equal shares; starvation pushes it toward 1/threads.
+		sp := res.PerOwner.Spread(n)
+		if len(w.Threads) == 1 {
+			fmt.Printf("fairness:   jain=%.3f over %d threads (ops min=%d max=%d)\n",
+				res.Jain, n, sp.MinOps, sp.MaxOps)
+		} else {
+			// Mixed thread classes do different work, so one index over
+			// all threads would conflate workload asymmetry with
+			// scheduler unfairness; report the split per class
+			// (OwnerIDs follow thread-spec declaration order).
+			parts := ""
+			ops := res.PerOwner.OpsPadded(n)
+			off := 0
+			for _, ts := range w.Threads {
+				class := ops[off : off+ts.Count]
+				off += ts.Count
+				if ts.Count > 1 {
+					parts += fmt.Sprintf("  %s=%.3f", ts.Name, fsbench.JainIndexCounts(class))
+				}
+			}
+			if parts != "" {
+				fmt.Printf("fairness:   per-class jain:%s (ops min=%d max=%d)\n",
+					parts, sp.MinOps, sp.MaxOps)
+			}
+		}
+	}
 	fmt.Printf("verdict:    %s\n", res.Flags)
 	if res.Flags.Any() {
 		fmt.Println()

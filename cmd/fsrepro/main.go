@@ -25,7 +25,7 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	var figs multiFlag
-	flag.Var(&figs, "fig", "figure to regenerate: 1, 1zoom, 2, 3, 4, contention (repeatable)")
+	flag.Var(&figs, "fig", "figure to regenerate: 1, 1zoom, 2, 3, 4, contention, fairness (repeatable)")
 	var (
 		table    = flag.String("table", "", "table to regenerate: 1")
 		all      = flag.Bool("all", false, "regenerate everything")
@@ -48,7 +48,7 @@ func main() {
 	proto.Parallelism = *parallel
 
 	if *all {
-		figs = multiFlag{"1", "1zoom", "2", "3", "4", "contention"}
+		figs = multiFlag{"1", "1zoom", "2", "3", "4", "contention", "fairness"}
 		*table = "1"
 	}
 	if len(figs) == 0 && *table == "" {
@@ -70,6 +70,8 @@ func main() {
 			err = figure4(proto)
 		case "contention":
 			err = figureContention(proto)
+		case "fairness":
+			err = figureFairness(proto)
 		default:
 			err = fmt.Errorf("unknown figure %q", f)
 		}

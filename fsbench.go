@@ -41,14 +41,27 @@
 //
 //   - QueueDepth bounds the scheduler's reorder window (0 = 32,
 //     NCQ-scale; 1 degenerates every scheduler to FCFS).
-//   - Scheduler picks the policy: "fcfs", "elevator" (C-LOOK), or
-//     "ncq" (shortest-seek-first with anti-starvation).
+//   - Scheduler picks the policy: "fcfs", "elevator" (C-LOOK), "ncq"
+//     (shortest-seek-first with anti-starvation), or "cfq"
+//     (per-requester queues with time-sliced round-robin).
 //
 // Contention therefore emerges instead of being assumed: a 16-thread
 // workload at QueueDepth 32 completes more operations than at depth 1,
 // and its p99 latency inflates as reordering starves unlucky requests.
 // ThreadCountSweep sweeps the scaling dimension directly; see
 // examples/contention for the saturation curve.
+//
+// # Requester identity and fairness
+//
+// Every I/O carries the identity of the thread (or daemon) that
+// issued it: workload threads have stable OwnerIDs, the write-back
+// daemon — a pdflush-style simulated process that ages out dirty
+// pages and parks writers at the dirty high-water mark — submits
+// under its own identity, and owner-aware scheduling (cfq) and
+// per-thread accounting key on it. Result.PerOwner holds per-thread
+// op counts and latency histograms, Result.Jain the Jain fairness
+// index of the service split; see examples/fairness for cfq vs ncq
+// on a mixed 34-thread workload.
 //
 // # What lives where
 //
@@ -206,6 +219,7 @@ var (
 	FileServer      = workload.FileServer
 	VarMail         = workload.VarMail
 	OLTP            = workload.OLTP
+	MixedRegions    = workload.MixedRegions
 )
 
 // WorkloadByName builds a stock personality with representative
@@ -226,10 +240,20 @@ type (
 	TimeSeries = metrics.TimeSeries
 	// HistogramTimeline is a latency histogram per interval (Figure 4).
 	HistogramTimeline = metrics.HistogramTimeline
+	// PerOwner is per-thread op counts and latency histograms, keyed
+	// by the engine's stable thread OwnerIDs (the fairness view).
+	PerOwner = metrics.PerOwner
 	// Summary is the descriptive-statistics bundle (mean, σ, RSD,
 	// 95% CI).
 	Summary = stats.Summary
 )
+
+// JainIndex computes the Jain fairness index of an allocation: 1.0
+// for equal shares, approaching 1/n as one requester takes all.
+func JainIndex(xs []float64) float64 { return metrics.JainIndex(xs) }
+
+// JainIndexCounts is JainIndex over integer op counts.
+func JainIndexCounts(xs []int64) float64 { return metrics.JainIndexCounts(xs) }
 
 // Nano-benchmark suite (§4's proposal).
 type (

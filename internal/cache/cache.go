@@ -62,7 +62,9 @@ func (s Stats) HitRatio() float64 {
 
 type pageMeta struct {
 	dirty      bool
-	prefetched bool // inserted by readahead, not yet referenced
+	writeback  bool   // write-back submitted, completion not yet fired
+	wbGen      uint64 // flight token of the current write-back (see MarkWriteback)
+	prefetched bool   // inserted by readahead, not yet referenced
 }
 
 // Cache is a fixed-capacity page cache. It tracks residency and dirty
@@ -76,7 +78,9 @@ type Cache struct {
 	pages    map[PageID]*pageMeta
 	policy   Policy
 	stats    Stats
-	dirty    int // resident dirty pages (kept incrementally)
+	dirty    int    // resident dirty pages (kept incrementally)
+	wb       int    // resident pages with write-back in flight
+	wbGen    uint64 // flight-token counter for MarkWriteback
 	// dirtySet and the intrusive dirtyHead/dirtyTail list track dirty
 	// pages in the order they were dirtied. The order matters: the
 	// write-back flusher collects bounded batches, and iterating a Go
@@ -256,6 +260,7 @@ func (c *Cache) insert(id PageID, dirty, prefetched bool) []Evicted {
 			c.stats.DirtyEvict++
 			c.clearDirtyCounters(victim)
 		}
+		c.dropWriteback(vm)
 		evicted = append(evicted, Evicted{ID: victim, Dirty: vm.dirty})
 	}
 	c.pages[id] = &pageMeta{dirty: dirty, prefetched: prefetched}
@@ -287,6 +292,62 @@ func (c *Cache) Clean(id PageID) {
 	if m, ok := c.pages[id]; ok && m.dirty {
 		m.dirty = false
 		c.clearDirtyCounters(id)
+	}
+}
+
+// MarkWriteback moves a dirty page into the write-back state: a
+// flusher has submitted its write but the completion has not fired.
+// The page leaves the dirtied-order list (so it is not collected
+// again) yet still counts against dirty throttling via
+// WritebackCount. On success it returns a flight token that the
+// completion passes back to EndWriteback; ok is false when the page
+// is not resident, not dirty, or already in flight (a page re-dirtied
+// during write-back stays dirty and is flushed again only after
+// EndWriteback).
+func (c *Cache) MarkWriteback(id PageID) (gen uint64, ok bool) {
+	m, present := c.pages[id]
+	if !present || !m.dirty || m.writeback {
+		return 0, false
+	}
+	m.dirty = false
+	c.clearDirtyCounters(id)
+	m.writeback = true
+	c.wbGen++
+	m.wbGen = c.wbGen
+	c.wb++
+	return c.wbGen, true
+}
+
+// EndWriteback clears the write-back state when the flight identified
+// by gen completes. The token guards against stale completions: a
+// page evicted mid-flight and later re-inserted and re-flushed has a
+// NEW flight outstanding, and the old write's late completion must
+// not clear it (sync paths would report durability too early). A
+// completion for an evicted or invalidated page is likewise a no-op —
+// its count was dropped at removal.
+func (c *Cache) EndWriteback(id PageID, gen uint64) {
+	if m, ok := c.pages[id]; ok && m.writeback && m.wbGen == gen {
+		m.writeback = false
+		c.wb--
+	}
+}
+
+// WritebackCount reports resident pages with write-back in flight.
+// Dirty throttling and SyncAll look at DirtyCount + WritebackCount:
+// the true amount of not-yet-durable data.
+func (c *Cache) WritebackCount() int { return c.wb }
+
+// IsWriteback reports the write-back state of a resident page.
+func (c *Cache) IsWriteback(id PageID) bool {
+	m, ok := c.pages[id]
+	return ok && m.writeback
+}
+
+// dropWriteback forgets in-flight state for a page leaving the cache.
+func (c *Cache) dropWriteback(m *pageMeta) {
+	if m.writeback {
+		m.writeback = false
+		c.wb--
 	}
 }
 
@@ -336,6 +397,7 @@ func (c *Cache) Invalidate(id PageID) bool {
 	if m.dirty {
 		c.clearDirtyCounters(id)
 	}
+	c.dropWriteback(m)
 	delete(c.pages, id)
 	c.delIndex(id)
 	c.policy.OnRemove(id)
@@ -362,8 +424,11 @@ func (c *Cache) InvalidateFile(file uint64) int {
 	n := 0
 	for _, pageIdx := range indices {
 		id := PageID{File: file, Index: pageIdx}
-		if m := c.pages[id]; m != nil && m.dirty {
-			c.clearDirtyCounters(id)
+		if m := c.pages[id]; m != nil {
+			if m.dirty {
+				c.clearDirtyCounters(id)
+			}
+			c.dropWriteback(m)
 		}
 		delete(c.pages, id)
 		c.policy.OnRemove(id)
@@ -398,6 +463,7 @@ func (c *Cache) Resize(capacityPages int) []Evicted {
 			c.stats.DirtyEvict++
 			c.clearDirtyCounters(victim)
 		}
+		c.dropWriteback(vm)
 		evicted = append(evicted, Evicted{ID: victim, Dirty: vm.dirty})
 	}
 	return evicted
@@ -435,4 +501,5 @@ func (c *Cache) Flush() {
 	c.dirtySet = make(map[PageID]*dirtyEnt)
 	c.dirtyHead, c.dirtyTail = nil, nil
 	c.dirty = 0
+	c.wb = 0
 }

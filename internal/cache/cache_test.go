@@ -439,3 +439,121 @@ func BenchmarkARCChurn(b *testing.B) {
 		}
 	}
 }
+
+func TestWritebackState(t *testing.T) {
+	c := New(8, NewLRU())
+	id := PageID{File: 1, Index: 0}
+	c.Insert(id, true)
+	if c.DirtyCount() != 1 || c.WritebackCount() != 0 {
+		t.Fatalf("dirty=%d wb=%d after dirty insert", c.DirtyCount(), c.WritebackCount())
+	}
+	// Not dirty → no transition.
+	if _, ok := c.MarkWriteback(PageID{File: 1, Index: 9}); ok {
+		t.Error("MarkWriteback succeeded on a non-resident page")
+	}
+	gen, ok := c.MarkWriteback(id)
+	if !ok {
+		t.Fatal("MarkWriteback failed on a dirty page")
+	}
+	if c.DirtyCount() != 0 || c.WritebackCount() != 1 || !c.IsWriteback(id) {
+		t.Fatalf("dirty=%d wb=%d after MarkWriteback", c.DirtyCount(), c.WritebackCount())
+	}
+	// Already in flight → no second submission.
+	if _, ok := c.MarkWriteback(id); ok {
+		t.Error("MarkWriteback succeeded twice")
+	}
+	// The flusher must not collect an in-flight page again.
+	if ids := c.CollectDirty(nil, 0); len(ids) != 0 {
+		t.Errorf("CollectDirty returned in-flight pages: %v", ids)
+	}
+	c.EndWriteback(id, gen)
+	if c.WritebackCount() != 0 || c.IsDirty(id) {
+		t.Fatalf("wb=%d dirty=%v after EndWriteback", c.WritebackCount(), c.IsDirty(id))
+	}
+}
+
+func TestWritebackRedirty(t *testing.T) {
+	c := New(8, NewLRU())
+	id := PageID{File: 1, Index: 0}
+	c.Insert(id, true)
+	gen, _ := c.MarkWriteback(id)
+	// Re-dirtied mid-flight: page is dirty AND in write-back.
+	if !c.MarkDirty(id) {
+		t.Fatal("MarkDirty failed on resident page")
+	}
+	if c.DirtyCount() != 1 || c.WritebackCount() != 1 {
+		t.Fatalf("dirty=%d wb=%d after re-dirty", c.DirtyCount(), c.WritebackCount())
+	}
+	// Completion clears only the write-back state; the page stays
+	// dirty and is collected again.
+	c.EndWriteback(id, gen)
+	if c.DirtyCount() != 1 || c.WritebackCount() != 0 {
+		t.Fatalf("dirty=%d wb=%d after EndWriteback", c.DirtyCount(), c.WritebackCount())
+	}
+	if ids := c.CollectDirty(nil, 0); len(ids) != 1 || ids[0] != id {
+		t.Errorf("re-dirtied page not collected: %v", ids)
+	}
+}
+
+func TestWritebackEvictionDropsCount(t *testing.T) {
+	c := New(2, NewLRU())
+	a := PageID{File: 1, Index: 0}
+	c.Insert(a, true)
+	genA, _ := c.MarkWriteback(a)
+	// Fill past capacity so `a` is evicted while in flight.
+	c.Insert(PageID{File: 1, Index: 1}, false)
+	c.Insert(PageID{File: 1, Index: 2}, false)
+	if c.Contains(a) {
+		t.Fatal("victim still resident")
+	}
+	if c.WritebackCount() != 0 {
+		t.Fatalf("wb=%d after evicting an in-flight page", c.WritebackCount())
+	}
+	c.EndWriteback(a, genA) // late completion for an evicted page: no-op
+	if c.WritebackCount() != 0 {
+		t.Fatalf("wb=%d after late EndWriteback", c.WritebackCount())
+	}
+	// Invalidate and Flush also forget in-flight state.
+	b := PageID{File: 2, Index: 0}
+	c.Insert(b, true)
+	c.MarkWriteback(b)
+	c.Invalidate(b)
+	if c.WritebackCount() != 0 {
+		t.Fatalf("wb=%d after Invalidate", c.WritebackCount())
+	}
+	c.Insert(b, true)
+	c.MarkWriteback(b)
+	c.Flush()
+	if c.WritebackCount() != 0 {
+		t.Fatalf("wb=%d after Flush", c.WritebackCount())
+	}
+}
+
+func TestWritebackStaleCompletionIgnored(t *testing.T) {
+	c := New(2, NewLRU())
+	a := PageID{File: 1, Index: 0}
+	c.Insert(a, true)
+	genA, _ := c.MarkWriteback(a)
+	// Evict a mid-flight, then bring it back dirty and flush again.
+	c.Insert(PageID{File: 1, Index: 1}, false)
+	c.Insert(PageID{File: 1, Index: 2}, false)
+	if c.Contains(a) {
+		t.Fatal("victim still resident")
+	}
+	c.Insert(a, true)
+	genB, ok := c.MarkWriteback(a)
+	if !ok || genB == genA {
+		t.Fatalf("second flight gen=%d ok=%v (first %d)", genB, ok, genA)
+	}
+	// The first flight's late completion must not clear the second:
+	// sync paths would observe WritebackCount()==0 and report
+	// durability before the second write finished.
+	c.EndWriteback(a, genA)
+	if c.WritebackCount() != 1 || !c.IsWriteback(a) {
+		t.Fatalf("stale completion cleared the live flight: wb=%d", c.WritebackCount())
+	}
+	c.EndWriteback(a, genB)
+	if c.WritebackCount() != 0 {
+		t.Fatalf("wb=%d after live completion", c.WritebackCount())
+	}
+}

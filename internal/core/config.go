@@ -47,7 +47,8 @@ type StackConfig struct {
 	QueueDepth int
 	// Scheduler names the I/O scheduler draining the device queue:
 	// "fcfs", "elevator" (C-LOOK), "ncq" (shortest-seek-first with
-	// anti-starvation). "" selects device.DefaultScheduler.
+	// anti-starvation), "cfq" (per-requester queues, time-sliced
+	// round-robin). "" selects device.DefaultScheduler.
 	Scheduler string
 
 	// CachePolicy names the eviction policy ("lru" default; "fifo",

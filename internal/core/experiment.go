@@ -54,7 +54,11 @@ type RunMeasure struct {
 	Hist       *metrics.Histogram
 	Series     *metrics.TimeSeries
 	Timeline   *metrics.HistogramTimeline
-	Errors     int64
+	// PerOwner holds per-thread op counts and latency histograms
+	// (owner = thread index), recorded inside the measurement window —
+	// the fairness view the aggregate Hist erases.
+	PerOwner *metrics.PerOwner
+	Errors   int64
 }
 
 // Flags are the harness's refusals: conditions under which a single
@@ -100,6 +104,15 @@ type Result struct {
 	Throughput stats.Summary
 	// Hist is the merged latency histogram across runs.
 	Hist *metrics.Histogram
+	// PerOwner merges the per-thread accounting across runs (owner =
+	// thread index).
+	PerOwner *metrics.PerOwner
+	// Jain is the Jain fairness index of the merged per-thread op
+	// counts: 1.0 when every thread got an equal share of service,
+	// approaching 1/n under starvation. Meaningful when the workload's
+	// threads do comparable work (uniform personalities); for mixed
+	// thread classes compute per-class indices from PerOwner instead.
+	Jain float64
 	// Flags carries the harness's refusals.
 	Flags Flags
 }
@@ -136,10 +149,14 @@ func (e *Experiment) prepare() error {
 
 // aggregate folds per-run measures (in run order) into a Result.
 func (e *Experiment) aggregate(perRun []RunMeasure) *Result {
-	res := &Result{Experiment: e, PerRun: perRun, Hist: &metrics.Histogram{}}
+	res := &Result{Experiment: e, PerRun: perRun,
+		Hist: &metrics.Histogram{}, PerOwner: &metrics.PerOwner{}}
 	for i := range perRun {
 		res.Hist.Merge(perRun[i].Hist)
+		res.PerOwner.Merge(perRun[i].PerOwner)
 	}
+	res.Jain = metrics.JainIndexCounts(
+		res.PerOwner.OpsPadded(e.Workload.TotalThreads()))
 	res.Throughput = stats.Summarize(res.Throughputs())
 	res.Flags = e.flags(res)
 	return res
@@ -198,11 +215,13 @@ func (e *Experiment) runOnce(seed uint64) (RunMeasure, error) {
 		CacheBytes: int64(mount.PC.L1.Capacity()) * 4096,
 		Hist:       &metrics.Histogram{},
 		Series:     metrics.NewTimeSeriesOffset(seriesInterval, start),
+		PerOwner:   &metrics.PerOwner{},
 	}
 	probe := &workload.Probe{
-		Series: m.Series,
-		Hist:   m.Hist,
-		Kinds:  e.kindSet(),
+		Series:   m.Series,
+		Hist:     m.Hist,
+		PerOwner: m.PerOwner,
+		Kinds:    e.kindSet(),
 	}
 	window := e.MeasureWindow
 	if window <= 0 || window > e.Duration {

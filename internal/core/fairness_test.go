@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// fairnessExperiment is the acceptance workload for requester-aware
+// scheduling: 32 reader threads in four disk-region classes (plus 2
+// append writers keeping the write-back daemon in the mix), disk-bound
+// on the small stack. Owners 0..31 are the readers, in declaration
+// order.
+func fairnessExperiment(sched string) *Experiment {
+	stack := smallStack()
+	stack.OSReserveJitter = 0
+	stack.Scheduler = sched
+	// Squeeze the data onto half the disk so the stripes are far apart
+	// in seek terms: region edges must cost real head travel or NCQ's
+	// greed has nothing to be greedy about. Readahead off so the queue
+	// holds exactly the threads' demand reads — prefetch bursts would
+	// smear the attribution the experiment exists to isolate.
+	stack.DiskBytes = 512 << 20
+	stack.Readahead = "none"
+	return &Experiment{
+		Name:          "fairness-" + sched,
+		Stack:         stack,
+		Workload:      workload.MixedRegions(4, 8, 2, 64<<20, 2<<10),
+		Runs:          1,
+		Duration:      8 * sim.Second,
+		MeasureWindow: 6 * sim.Second,
+		ColdCache:     true,
+		Seed:          7,
+		Kinds:         []workload.OpKind{workload.OpReadRand},
+	}
+}
+
+// readerJain is the Jain fairness index over the 32 reader threads'
+// recorded op counts (writers are excluded: they do different work,
+// so their share is not comparable).
+func readerJain(res *Result) float64 {
+	return metrics.JainIndexCounts(res.PerOwner.OpsPadded(32)[:32])
+}
+
+// TestCFQFairerThanNCQ is the tentpole acceptance criterion: on a
+// mixed-personality run at 32+ threads, CFQ's per-thread service is
+// at least as fair (Jain index) as NCQ's, whose seek greed starves
+// the edge disk regions.
+func TestCFQFairerThanNCQ(t *testing.T) {
+	cfqRes, err := fairnessExperiment("cfq").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncqRes, err := fairnessExperiment("ncq").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfqJain, ncqJain := readerJain(cfqRes), readerJain(ncqRes)
+	t.Logf("jain: cfq=%.3f ncq=%.3f (throughput cfq=%.0f ncq=%.0f ops/s)",
+		cfqJain, ncqJain, cfqRes.Throughput.Mean, ncqRes.Throughput.Mean)
+	if cfqJain <= 0 {
+		t.Fatal("cfq run recorded no per-owner ops")
+	}
+	if cfqJain < ncqJain {
+		t.Errorf("cfq jain %.3f below ncq %.3f: per-owner queues should not be less fair than seek-greedy NCQ",
+			cfqJain, ncqJain)
+	}
+}
+
+// TestFairnessAttributionComplete checks the identity plumbing end to
+// end: every reader owner slot exists and the per-owner counts sum to
+// the aggregate histogram's count — no operation loses its requester
+// on the way through the stack.
+func TestFairnessAttributionComplete(t *testing.T) {
+	res, err := fairnessExperiment("cfq").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := res.PerOwner.OpsPadded(32)
+	var sum int64
+	for _, n := range ops {
+		sum += n
+	}
+	if sum != res.Hist.Count() {
+		t.Errorf("per-owner ops sum %d != aggregate histogram count %d", sum, res.Hist.Count())
+	}
+	if res.Jain <= 0 || res.Jain > 1 {
+		t.Errorf("aggregate Jain = %v, want (0, 1]", res.Jain)
+	}
+}
+
+// writebackExperiment is a write-heavy workload that exercises the
+// event-mode write-back daemon and dirty throttling: 4 threads
+// overwriting a file larger than the dirty high-water mark allows to
+// stay dirty.
+func writebackExperiment(parallelism int, sched string) *Experiment {
+	stack := smallStack()
+	stack.Scheduler = sched
+	return &Experiment{
+		Name:          "writeback-" + sched,
+		Stack:         stack,
+		Workload:      workload.RandomWrite(96<<20, 16<<10, 4),
+		Runs:          2,
+		Duration:      3 * sim.Second,
+		MeasureWindow: 2 * sim.Second,
+		Seed:          31,
+		Parallelism:   parallelism,
+	}
+}
+
+// TestWritebackDeterminism is the daemon determinism matrix: a
+// write-heavy run — flusher daemon active, writers parking on the
+// dirty high-water mark — must stay bit-identical across host
+// Parallelism 1/4/8 (kept small: the CI box has 1 CPU).
+func TestWritebackDeterminism(t *testing.T) {
+	for _, sched := range []string{"elevator", "cfq"} {
+		want := ""
+		for _, p := range []int{1, 4, 8} {
+			res, err := writebackExperiment(p, sched).Run()
+			if err != nil {
+				t.Fatalf("%s parallelism=%d: %v", sched, p, err)
+			}
+			got := resultFingerprint(res)
+			if want == "" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("%s: parallelism %d result differs from parallelism 1", sched, p)
+			}
+		}
+	}
+}

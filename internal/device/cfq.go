@@ -1,0 +1,96 @@
+package device
+
+import (
+	"repro/internal/sim"
+)
+
+// cfqSlice is the service quantum one owner holds before the scheduler
+// rotates to the next — the scale of CFQ's per-queue time slice. At
+// ~5-10 ms per random disk request an owner gets a handful of
+// back-to-back requests per slice; with closed-loop threads (one
+// outstanding request each) rotation happens on every pick and CFQ
+// degenerates gracefully to per-owner round-robin.
+const cfqSlice = 100 * sim.Millisecond
+
+// cfq is a completely-fair-queueing scheduler: one FIFO queue per
+// owner (Request.Owner), serviced round-robin with a time slice per
+// owner. Within a queue requests pop in admission (Seq) order; across
+// queues service always goes to the ring's head owner, and owners
+// join (or rejoin) at the tail when they activate and move to the
+// tail when a slice expires — the whole policy is a deterministic
+// function of the push/pop sequence.
+//
+// The ring discipline matters: service MUST take the head rather than
+// hold a cursor into the ring. Draining owners re-activate at the
+// tail, so a cursor parked mid-ring would strand every owner behind
+// it while the tail segment self-sustains under closed-loop load — a
+// livelock that turns the "fair" scheduler into the most unfair one.
+//
+// Unlike the real CFQ there is no anticipatory idling: when the slice
+// holder's queue drains, the scheduler moves on immediately rather
+// than holding the device idle waiting for the owner's next request.
+// Idling would require the Queue to re-dispatch on a timer; the
+// fairness this scheduler exists to demonstrate does not need it.
+type cfq struct {
+	order    []int // ring of owners with queued requests; order[0] is served
+	queues   map[int][]*IORequest
+	curOwner int
+	hasCur   bool
+	sliceEnd sim.Time
+	n        int
+}
+
+func newCFQ() *cfq {
+	return &cfq{queues: make(map[int][]*IORequest)}
+}
+
+func (s *cfq) Name() string { return SchedCFQ }
+func (s *cfq) Len() int     { return s.n }
+
+func (s *cfq) Push(r *IORequest) {
+	o := r.Req.Owner
+	q, ok := s.queues[o]
+	if !ok {
+		// An owner that was idle (or drained its queue) rejoins the
+		// ring at the tail, behind everyone currently waiting.
+		s.order = append(s.order, o)
+	}
+	s.queues[o] = append(q, r)
+	s.n++
+}
+
+func (s *cfq) Pop(now sim.Time, head int64) *IORequest {
+	if s.n == 0 {
+		return nil
+	}
+	switch {
+	case !s.hasCur || s.order[0] != s.curOwner:
+		// New slice: first pick, or the previous holder drained and
+		// its removal exposed the successor at the head.
+		s.curOwner = s.order[0]
+		s.hasCur = true
+		s.sliceEnd = now + cfqSlice
+	case now >= s.sliceEnd:
+		// Slice expired with requests left: the holder goes to the
+		// back of the ring and the new head starts a fresh slice.
+		copy(s.order, s.order[1:])
+		s.order[len(s.order)-1] = s.curOwner
+		s.curOwner = s.order[0]
+		s.sliceEnd = now + cfqSlice
+	}
+	o := s.order[0]
+	q := s.queues[o]
+	r := q[0] // FIFO within an owner = admission (Seq) order
+	copy(q, q[1:])
+	q[len(q)-1] = nil
+	q = q[:len(q)-1]
+	if len(q) == 0 {
+		delete(s.queues, o)
+		copy(s.order, s.order[1:])
+		s.order = s.order[:len(s.order)-1]
+	} else {
+		s.queues[o] = q
+	}
+	s.n--
+	return r
+}

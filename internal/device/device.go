@@ -47,11 +47,29 @@ var ErrIO = errors.New("device: I/O error")
 // ErrOutOfRange is returned when a request falls outside the device.
 var ErrOutOfRange = errors.New("device: request out of range")
 
+// Requester identities carried by Request.Owner. Workload threads use
+// positive owners (the engine assigns thread index + 1); the zero
+// value means unattributed, so existing immediate-mode callers need
+// not care.
+const (
+	// OwnerNone marks unattributed I/O: immediate-mode submissions
+	// (setup, replay, nano raw tests) and async work issued outside any
+	// thread context.
+	OwnerNone = 0
+	// OwnerDaemon is the write-back flusher daemon's identity. It is
+	// negative so it can never collide with a thread owner.
+	OwnerDaemon = -1
+)
+
 // Request is a single sector-range transfer.
 type Request struct {
 	Op      Op
 	LBA     int64 // first sector
 	Sectors int64 // number of sectors, > 0
+	// Owner identifies the requester (thread, daemon) on whose behalf
+	// the transfer runs. Devices ignore it; owner-aware schedulers
+	// (CFQ) and fairness accounting key on it.
+	Owner int
 }
 
 // Device is a block device under virtual time.

@@ -18,7 +18,7 @@ func TestHDDSequentialFasterThanRandom(t *testing.T) {
 	var at sim.Time
 	var lba int64
 	for i := 0; i < 100; i++ {
-		done, err := h.Submit(at, Request{Read, lba, 8})
+		done, err := h.Submit(at, Request{Op: Read, LBA: lba, Sectors: 8})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -31,7 +31,7 @@ func TestHDDSequentialFasterThanRandom(t *testing.T) {
 	rng := sim.NewRNG(3)
 	at = 0
 	for i := 0; i < 100; i++ {
-		done, err := h2.Submit(at, Request{Read, rng.Int63n(h2.Sectors() - 8), 8})
+		done, err := h2.Submit(at, Request{Op: Read, LBA: rng.Int63n(h2.Sectors() - 8), Sectors: 8})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -45,17 +45,17 @@ func TestHDDSequentialFasterThanRandom(t *testing.T) {
 
 func TestHDDSequentialSkipsSeek(t *testing.T) {
 	h := newTestHDD()
-	if _, err := h.Submit(0, Request{Read, 0, 8}); err != nil {
+	if _, err := h.Submit(0, Request{Op: Read, LBA: 0, Sectors: 8}); err != nil {
 		t.Fatal(err)
 	}
 	seeks := h.Stats().Seeks
-	if _, err := h.Submit(sim.Second, Request{Read, 8, 8}); err != nil {
+	if _, err := h.Submit(sim.Second, Request{Op: Read, LBA: 8, Sectors: 8}); err != nil {
 		t.Fatal(err)
 	}
 	if h.Stats().Seeks != seeks {
 		t.Error("sequential follow-on request counted as a seek")
 	}
-	if _, err := h.Submit(2*sim.Second, Request{Read, 1 << 20, 8}); err != nil {
+	if _, err := h.Submit(2*sim.Second, Request{Op: Read, LBA: 1 << 20, Sectors: 8}); err != nil {
 		t.Fatal(err)
 	}
 	if h.Stats().Seeks != seeks+1 {
@@ -65,12 +65,12 @@ func TestHDDSequentialSkipsSeek(t *testing.T) {
 
 func TestHDDQueueing(t *testing.T) {
 	h := newTestHDD()
-	done1, err := h.Submit(0, Request{Read, 1 << 24, 8})
+	done1, err := h.Submit(0, Request{Op: Read, LBA: 1 << 24, Sectors: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// A request arriving while the first is in service must wait.
-	done2, err := h.Submit(0, Request{Read, 1 << 25, 8})
+	done2, err := h.Submit(0, Request{Op: Read, LBA: 1 << 25, Sectors: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,11 +85,11 @@ func TestHDDQueueing(t *testing.T) {
 func TestHDDOutOfRange(t *testing.T) {
 	h := newTestHDD()
 	cases := []Request{
-		{Read, -1, 8},
-		{Read, h.Sectors(), 1},
-		{Read, h.Sectors() - 4, 8},
-		{Read, 0, 0},
-		{Read, 0, -3},
+		{Op: Read, LBA: -1, Sectors: 8},
+		{Op: Read, LBA: h.Sectors(), Sectors: 1},
+		{Op: Read, LBA: h.Sectors() - 4, Sectors: 8},
+		{Op: Read, LBA: 0, Sectors: 0},
+		{Op: Read, LBA: 0, Sectors: -3},
 	}
 	for _, req := range cases {
 		if _, err := h.Submit(0, req); !errors.Is(err, ErrOutOfRange) {
@@ -110,7 +110,7 @@ func TestHDDRandomReadLatencyMagnitude(t *testing.T) {
 	var at sim.Time
 	const n = 2000
 	for i := 0; i < n; i++ {
-		done, err := h.Submit(at, Request{Read, rng.Int63n(h.Sectors() - 4), 4})
+		done, err := h.Submit(at, Request{Op: Read, LBA: rng.Int63n(h.Sectors() - 4), Sectors: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,11 +134,11 @@ func TestHDDShortSeeksCheaper(t *testing.T) {
 	var atNear, atFar sim.Time
 	for i := 0; i < 1000; i++ {
 		var err error
-		atNear, err = near.Submit(atNear, Request{Read, rng1.Int63n(sliceSectors), 4})
+		atNear, err = near.Submit(atNear, Request{Op: Read, LBA: rng1.Int63n(sliceSectors), Sectors: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
-		atFar, err = far.Submit(atFar, Request{Read, rng2.Int63n(far.Sectors() - 4), 4})
+		atFar, err = far.Submit(atFar, Request{Op: Read, LBA: rng2.Int63n(far.Sectors() - 4), Sectors: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,7 +155,7 @@ func TestHDDDeterminism(t *testing.T) {
 		var at sim.Time
 		for i := 0; i < 500; i++ {
 			var err error
-			at, err = h.Submit(at, Request{Read, rng.Int63n(h.Sectors() - 4), 4})
+			at, err = h.Submit(at, Request{Op: Read, LBA: rng.Int63n(h.Sectors() - 4), Sectors: 4})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -187,7 +187,7 @@ func TestTimeMonotonicityProperty(t *testing.T) {
 				op = Write
 			}
 			at += sim.Time(gap) * sim.Microsecond
-			done, err := d.Submit(at, Request{op, lba, n})
+			done, err := d.Submit(at, Request{Op: op, LBA: lba, Sectors: n})
 			if err != nil {
 				return false
 			}
@@ -209,11 +209,11 @@ func TestSSDFasterThanHDDForRandom(t *testing.T) {
 	var atS, atH sim.Time
 	for i := 0; i < 500; i++ {
 		var err error
-		atS, err = ssd.Submit(atS, Request{Read, r1.Int63n(ssd.Sectors() - 4), 4})
+		atS, err = ssd.Submit(atS, Request{Op: Read, LBA: r1.Int63n(ssd.Sectors() - 4), Sectors: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
-		atH, err = hdd.Submit(atH, Request{Read, r2.Int63n(hdd.Sectors() - 4), 4})
+		atH, err = hdd.Submit(atH, Request{Op: Read, LBA: r2.Int63n(hdd.Sectors() - 4), Sectors: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -228,12 +228,12 @@ func TestSSDWriteSlowerThanRead(t *testing.T) {
 	cfg.GCProb = 0 // isolate the base asymmetry
 	cfg.NoiseFrac = 0
 	ssd := NewSSD(cfg, sim.NewRNG(13))
-	rd, err := ssd.Submit(0, Request{Read, 0, 8})
+	rd, err := ssd.Submit(0, Request{Op: Read, LBA: 0, Sectors: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ssd2 := NewSSD(cfg, sim.NewRNG(13))
-	wr, err := ssd2.Submit(0, Request{Write, 0, 8})
+	wr, err := ssd2.Submit(0, Request{Op: Write, LBA: 0, Sectors: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestSSDWriteSlowerThanRead(t *testing.T) {
 
 func TestRAMDiskLatency(t *testing.T) {
 	rd := NewRAMDisk(1 << 30)
-	done, err := rd.Submit(0, Request{Read, 0, 4})
+	done, err := rd.Submit(0, Request{Op: Read, LBA: 0, Sectors: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,10 +255,10 @@ func TestRAMDiskLatency(t *testing.T) {
 
 func TestStatsAccumulation(t *testing.T) {
 	rd := NewRAMDisk(1 << 20)
-	if _, err := rd.Submit(0, Request{Read, 0, 4}); err != nil {
+	if _, err := rd.Submit(0, Request{Op: Read, LBA: 0, Sectors: 4}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rd.Submit(0, Request{Write, 8, 2}); err != nil {
+	if _, err := rd.Submit(0, Request{Op: Write, LBA: 8, Sectors: 2}); err != nil {
 		t.Fatal(err)
 	}
 	s := rd.Stats()
@@ -282,17 +282,17 @@ func TestFaultyBadRange(t *testing.T) {
 	f := NewFaulty(inner, FaultPolicy{
 		BadRanges: []SectorRange{{First: 100, Count: 10}},
 	}, sim.NewRNG(14))
-	if _, err := f.Submit(0, Request{Read, 0, 8}); err != nil {
+	if _, err := f.Submit(0, Request{Op: Read, LBA: 0, Sectors: 8}); err != nil {
 		t.Fatalf("good range failed: %v", err)
 	}
 	for _, req := range []Request{
-		{Read, 100, 1}, {Read, 95, 10}, {Read, 109, 4}, {Write, 105, 2},
+		{Op: Read, LBA: 100, Sectors: 1}, {Op: Read, LBA: 95, Sectors: 10}, {Op: Read, LBA: 109, Sectors: 4}, {Op: Write, LBA: 105, Sectors: 2},
 	} {
 		if _, err := f.Submit(0, req); !errors.Is(err, ErrIO) {
 			t.Errorf("Submit(%+v) = %v, want ErrIO", req, err)
 		}
 	}
-	if _, err := f.Submit(0, Request{Read, 110, 8}); err != nil {
+	if _, err := f.Submit(0, Request{Op: Read, LBA: 110, Sectors: 8}); err != nil {
 		t.Errorf("range just past bad sectors failed: %v", err)
 	}
 }
@@ -301,7 +301,7 @@ func TestFaultyProbabilistic(t *testing.T) {
 	f := NewFaulty(NewRAMDisk(1<<20), FaultPolicy{ReadErrProb: 0.5}, sim.NewRNG(15))
 	var errs int
 	for i := 0; i < 1000; i++ {
-		if _, err := f.Submit(0, Request{Read, 0, 1}); err != nil {
+		if _, err := f.Submit(0, Request{Op: Read, LBA: 0, Sectors: 1}); err != nil {
 			errs++
 		}
 	}
@@ -309,7 +309,7 @@ func TestFaultyProbabilistic(t *testing.T) {
 		t.Errorf("error rate = %d/1000, want ~500", errs)
 	}
 	// Writes must be unaffected.
-	if _, err := f.Submit(0, Request{Write, 0, 1}); err != nil {
+	if _, err := f.Submit(0, Request{Op: Write, LBA: 0, Sectors: 1}); err != nil {
 		t.Errorf("write failed under read-only fault policy: %v", err)
 	}
 }
@@ -317,11 +317,11 @@ func TestFaultyProbabilistic(t *testing.T) {
 func TestFaultyFailAfter(t *testing.T) {
 	f := NewFaulty(NewRAMDisk(1<<20), FaultPolicy{FailAfter: 3}, sim.NewRNG(16))
 	for i := 0; i < 3; i++ {
-		if _, err := f.Submit(0, Request{Read, 0, 1}); err != nil {
+		if _, err := f.Submit(0, Request{Op: Read, LBA: 0, Sectors: 1}); err != nil {
 			t.Fatalf("request %d failed early: %v", i, err)
 		}
 	}
-	if _, err := f.Submit(0, Request{Read, 0, 1}); !errors.Is(err, ErrIO) {
+	if _, err := f.Submit(0, Request{Op: Read, LBA: 0, Sectors: 1}); !errors.Is(err, ErrIO) {
 		t.Fatalf("device did not die after FailAfter: %v", err)
 	}
 }
@@ -334,7 +334,7 @@ func TestSubmitBatchElevatorBeatsFCFS(t *testing.T) {
 		rng := sim.NewRNG(17)
 		reqs := make([]Request, 64)
 		for i := range reqs {
-			reqs[i] = Request{Write, rng.Int63n(1 << 28), 8}
+			reqs[i] = Request{Op: Write, LBA: rng.Int63n(1 << 28), Sectors: 8}
 		}
 		return reqs
 	}
@@ -365,7 +365,7 @@ func BenchmarkHDDRandomRead(b *testing.B) {
 	var at sim.Time
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		done, err := h.Submit(at, Request{Read, rng.Int63n(h.Sectors() - 4), 4})
+		done, err := h.Submit(at, Request{Op: Read, LBA: rng.Int63n(h.Sectors() - 4), Sectors: 4})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -379,7 +379,7 @@ func BenchmarkSSDRandomRead(b *testing.B) {
 	var at sim.Time
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		done, err := s.Submit(at, Request{Read, rng.Int63n(s.Sectors() - 4), 4})
+		done, err := s.Submit(at, Request{Op: Read, LBA: rng.Int63n(s.Sectors() - 4), Sectors: 4})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -20,7 +20,7 @@ func mkQueue(t testing.TB, schedName string, depth int) (*Queue, *sim.EventLoop)
 }
 
 func TestNewSchedulerNames(t *testing.T) {
-	for _, name := range []string{"", SchedFCFS, SchedElevator, SchedNCQ} {
+	for _, name := range []string{"", SchedFCFS, SchedElevator, SchedNCQ, SchedCFQ} {
 		s, err := NewScheduler(name)
 		if err != nil {
 			t.Errorf("NewScheduler(%q): %v", name, err)
@@ -30,7 +30,7 @@ func TestNewSchedulerNames(t *testing.T) {
 			t.Errorf("NewScheduler(%q).Name() = %q", name, s.Name())
 		}
 	}
-	if _, err := NewScheduler("cfq"); err == nil {
+	if _, err := NewScheduler("deadline"); err == nil {
 		t.Error("unknown scheduler accepted")
 	}
 }
@@ -290,5 +290,167 @@ func TestQueueDeterminism(t *testing.T) {
 		if a, b := run(name), run(name); a != b {
 			t.Errorf("%s: same-seed runs differ", name)
 		}
+	}
+}
+
+// TestNCQStarvationPromotesFarRequest is the Pop-level anti-starvation
+// contract: once a far-LBA request has waited past ncqStarveLimit, the
+// scheduler must promote it ahead of strictly nearer arrivals instead
+// of bypassing it one more time.
+func TestNCQStarvationPromotesFarRequest(t *testing.T) {
+	s, err := NewScheduler(SchedNCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := &IORequest{Req: Request{Op: Read, LBA: 1 << 30, Sectors: 8}, At: 0, Seq: 0}
+	s.Push(far)
+	near := &IORequest{Req: Request{Op: Read, LBA: 8, Sectors: 8}, At: sim.Second, Seq: 1}
+	s.Push(near)
+	// Before the deadline the nearer request wins (head at 0).
+	if got := s.Pop(sim.Second, 0); got != near {
+		t.Fatalf("pre-deadline Pop = %+v, want the near request", got.Req)
+	}
+	s.Push(near)
+	// Past the deadline the starved far request must be serviced even
+	// though the near one is still closer to the head.
+	if got := s.Pop(ncqStarveLimit+sim.Second, 0); got != far {
+		t.Fatalf("post-deadline Pop = %+v, want the starved far request", got.Req)
+	}
+	if got := s.Pop(ncqStarveLimit+sim.Second, 0); got != near {
+		t.Fatalf("final Pop = %+v, want the near request", got.Req)
+	}
+}
+
+// cfqClosedLoop drives the queue with `owners` closed-loop requesters
+// (each re-issues on completion) plus a periodic bursty owner, and
+// returns per-owner completion counts. This is the pattern that
+// exposed the ring-cursor stranding bug: a cursor parked mid-ring by
+// slice expiries never wraps while fast resubmitters keep the tail
+// segment alive, so everyone behind the cursor starves forever.
+func cfqClosedLoop(t *testing.T, owners int, horizon sim.Time) map[int]int {
+	t.Helper()
+	sched, err := NewScheduler(SchedCFQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := sim.NewEventLoop(0)
+	q := NewQueue(NewHDD(DefaultHDD(), sim.NewRNG(1)), sched, 32, loop)
+	counts := make(map[int]int)
+	var submit func(owner int, at sim.Time)
+	submit = func(owner int, at sim.Time) {
+		q.Submit(at, Request{Op: Read, LBA: int64(owner) * 400000, Sectors: 8, Owner: owner},
+			func(done sim.Time, err error) {
+				counts[owner]++
+				if done < horizon {
+					submit(owner, done)
+				}
+			})
+	}
+	for o := 1; o <= owners; o++ {
+		submit(o, 0)
+	}
+	// The bursty owner floods multi-request batches, which is what
+	// makes slices expire mid-queue and exercises ring rotation.
+	var burst func(at sim.Time)
+	burst = func(at sim.Time) {
+		if at >= horizon {
+			return
+		}
+		loop.Schedule(at, func() {
+			for i := 0; i < 48; i++ {
+				q.Submit(at, Request{Op: Write, LBA: int64(i) * 1000, Sectors: 8, Owner: OwnerDaemon},
+					func(done sim.Time, err error) { counts[OwnerDaemon]++ })
+			}
+			burst(at + 300*sim.Millisecond)
+		})
+	}
+	burst(200 * sim.Millisecond)
+	loop.Run()
+	return counts
+}
+
+// TestCFQNoOwnerStarves is the stranding regression: under closed-loop
+// load with periodic daemon bursts, every owner must keep completing
+// requests — the slowest owner may not fall behind the fastest by more
+// than the slice-induced spread.
+func TestCFQNoOwnerStarves(t *testing.T) {
+	counts := cfqClosedLoop(t, 24, 3*sim.Second)
+	min, max := int(^uint(0)>>1), 0
+	for o := 1; o <= 24; o++ {
+		if counts[o] < min {
+			min = counts[o]
+		}
+		if counts[o] > max {
+			max = counts[o]
+		}
+	}
+	if min == 0 {
+		t.Fatalf("an owner was starved outright: counts=%v", counts)
+	}
+	if min*3 < max {
+		t.Errorf("cfq spread too wide: min=%d max=%d", min, max)
+	}
+	if counts[OwnerDaemon] == 0 {
+		t.Error("daemon owner never serviced")
+	}
+}
+
+// TestCFQSliceKeepsOwner checks the time-slice contract directly: an
+// owner with several queued requests is served back-to-back within one
+// slice, and the slice's expiry rotates service to the next owner.
+func TestCFQSliceKeepsOwner(t *testing.T) {
+	sched, _ := NewScheduler(SchedCFQ)
+	push := func(owner int, seq uint64, at sim.Time) {
+		sched.Push(&IORequest{Req: Request{Op: Read, LBA: int64(seq) * 100, Sectors: 8, Owner: owner}, At: at, Seq: seq})
+	}
+	push(1, 0, 0)
+	push(1, 1, 0)
+	push(2, 2, 0)
+	push(2, 3, 0)
+	// Within owner 1's slice both its requests pop first, FIFO.
+	if r := sched.Pop(0, 0); r.Req.Owner != 1 || r.Seq != 0 {
+		t.Fatalf("pop 1 = owner %d seq %d, want owner 1 seq 0", r.Req.Owner, r.Seq)
+	}
+	if r := sched.Pop(sim.Millisecond, 0); r.Req.Owner != 1 || r.Seq != 1 {
+		t.Fatalf("pop 2 = owner %d seq %d, want owner 1 seq 1", r.Req.Owner, r.Seq)
+	}
+	if r := sched.Pop(2*sim.Millisecond, 0); r.Req.Owner != 2 {
+		t.Fatalf("pop 3 = owner %d, want owner 2 after owner 1 drained", r.Req.Owner)
+	}
+	// Refill owner 1; owner 2's slice is still open, so its remaining
+	// request is served first; only then does owner 1 get a new slice.
+	push(1, 4, 3*sim.Millisecond)
+	if r := sched.Pop(3*sim.Millisecond, 0); r.Req.Owner != 2 {
+		t.Fatalf("pop 4 = owner %d, want owner 2 (slice still open)", r.Req.Owner)
+	}
+	if r := sched.Pop(4*sim.Millisecond, 0); r.Req.Owner != 1 {
+		t.Fatalf("pop 5 = owner %d, want owner 1", r.Req.Owner)
+	}
+	// Slice expiry with requests left rotates the holder to the tail.
+	push(1, 5, 5*sim.Millisecond)
+	push(1, 6, 5*sim.Millisecond)
+	push(2, 7, 5*sim.Millisecond)
+	if r := sched.Pop(5*sim.Millisecond, 0); r.Req.Owner != 1 {
+		t.Fatalf("pop 6 = owner %d, want owner 1 (fresh slice)", r.Req.Owner)
+	}
+	if r := sched.Pop(5*sim.Millisecond+2*cfqSlice, 0); r.Req.Owner != 2 {
+		t.Fatalf("pop 7 = owner %d, want owner 2 after owner 1's slice expired", r.Req.Owner)
+	}
+	if r := sched.Pop(5*sim.Millisecond+2*cfqSlice, 0); r.Req.Owner != 1 {
+		t.Fatalf("pop 8 = owner %d, want owner 1 again", r.Req.Owner)
+	}
+	if sched.Len() != 0 {
+		t.Fatalf("scheduler not drained: %d left", sched.Len())
+	}
+}
+
+// TestCFQAtDepthOneIsFCFS mirrors TestQueueDepthBoundsReordering for
+// the owner-aware scheduler: with a window of 1 there is nothing to
+// rotate over.
+func TestCFQAtDepthOneIsFCFS(t *testing.T) {
+	lbas := []int64{500000, 100, 900000, 40000, 700}
+	order := completionOrder(t, SchedCFQ, 1, lbas)
+	if fmt.Sprint(order) != fmt.Sprint(lbas) {
+		t.Errorf("cfq at depth 1: order = %v, want arrival order", order)
 	}
 }

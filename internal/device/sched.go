@@ -28,7 +28,7 @@ type IORequest struct {
 // Implementations must be deterministic: the same push/pop sequence
 // must produce the same order, with ties broken by Seq.
 type Scheduler interface {
-	// Name identifies the policy ("fcfs", "elevator", "ncq").
+	// Name identifies the policy ("fcfs", "elevator", "ncq", "cfq").
 	Name() string
 	// Push admits a request into the scheduling window.
 	Push(r *IORequest)
@@ -45,6 +45,7 @@ const (
 	SchedFCFS     = "fcfs"
 	SchedElevator = "elevator"
 	SchedNCQ      = "ncq"
+	SchedCFQ      = "cfq"
 )
 
 // DefaultScheduler is the policy used when none is named: the
@@ -62,8 +63,10 @@ func NewScheduler(name string) (Scheduler, error) {
 		return &fcfs{}, nil
 	case SchedNCQ:
 		return &ncq{}, nil
+	case SchedCFQ:
+		return newCFQ(), nil
 	}
-	return nil, fmt.Errorf("device: unknown scheduler %q (want fcfs, elevator, ncq)", name)
+	return nil, fmt.Errorf("device: unknown scheduler %q (want fcfs, elevator, ncq, cfq)", name)
 }
 
 // fcfs services requests strictly in arrival order. Queue depth has no

@@ -266,3 +266,65 @@ func BenchmarkHistogramRecord(b *testing.B) {
 		h.Record(sim.Time(i & 0xFFFFF))
 	}
 }
+
+func TestPerOwnerRecordAndOps(t *testing.T) {
+	var p PerOwner
+	p.Record(2, 10)
+	p.Record(0, 5)
+	p.Record(2, 20)
+	p.Record(-1, 99) // ignored
+	if got := p.Owners(); got != 3 {
+		t.Fatalf("Owners = %d, want 3", got)
+	}
+	ops := p.Ops()
+	if ops[0] != 1 || ops[1] != 0 || ops[2] != 2 {
+		t.Fatalf("Ops = %v", ops)
+	}
+	if got := p.OpsPadded(5); len(got) != 5 || got[4] != 0 {
+		t.Fatalf("OpsPadded(5) = %v", got)
+	}
+	if h := p.Hist(2); h == nil || h.Count() != 2 {
+		t.Fatal("Hist(2) wrong")
+	}
+	if p.Hist(7) != nil {
+		t.Error("Hist out of range should be nil")
+	}
+}
+
+func TestPerOwnerMerge(t *testing.T) {
+	var a, b PerOwner
+	a.Record(0, 10)
+	b.Record(0, 20)
+	b.Record(3, 30)
+	a.Merge(&b)
+	a.Merge(nil)
+	ops := a.Ops()
+	if ops[0] != 2 || ops[3] != 1 {
+		t.Fatalf("merged Ops = %v", ops)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex(nil); got != 0 {
+		t.Errorf("JainIndex(nil) = %v", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 0 {
+		t.Errorf("all-zero = %v, want 0", got)
+	}
+	if got := JainIndex([]float64{5, 5, 5, 5}); got != 1 {
+		t.Errorf("equal shares = %v, want 1", got)
+	}
+	// One owner takes everything: index = 1/n.
+	if got := JainIndex([]float64{12, 0, 0, 0}); got != 0.25 {
+		t.Errorf("winner-take-all = %v, want 0.25", got)
+	}
+	if got := JainIndexCounts([]int64{1, 3}); got <= 0.25 || got >= 1 {
+		t.Errorf("skewed counts = %v, want in (0.25, 1)", got)
+	}
+	// Starvation must lower the index.
+	fair := JainIndexCounts([]int64{10, 10, 10, 10})
+	starved := JainIndexCounts([]int64{28, 10, 1, 1})
+	if starved >= fair {
+		t.Errorf("starved %v not below fair %v", starved, fair)
+	}
+}

@@ -62,7 +62,7 @@ func (m *Mount) Create(at sim.Time, path string) (*FD, sim.Time, error) {
 	}
 	m.dcache["/"+trimSlashes(path)] = ino
 	m.sizes[ino] = 0
-	m.maybeWriteback(now)
+	now = m.balanceDirty(now)
 	return &FD{Ino: ino, Path: path, mount: m}, now, nil
 }
 
@@ -108,7 +108,7 @@ func (m *Mount) Unlink(at sim.Time, path string) (sim.Time, error) {
 	if err != nil {
 		return now, err
 	}
-	m.maybeWriteback(now)
+	now = m.balanceDirty(now)
 	return now, nil
 }
 
@@ -178,7 +178,11 @@ func (m *Mount) Read(at sim.Time, fd *FD, offset, size int64) (int64, sim.Time, 
 		}
 	}
 	m.stats.BytesRead += size
-	m.maybeWriteback(now)
+	if m.queue == nil {
+		// Immediate mode: inline flush. Event mode leaves flushing to
+		// the daemon — read paths are never throttled on dirty state.
+		m.maybeWriteback(now)
+	}
 	return size, now, nil
 }
 
@@ -298,37 +302,24 @@ func (m *Mount) Write(at sim.Time, fd *FD, offset, size int64) (sim.Time, error)
 		now += m.cfg.HitPerPage // copy-in
 	}
 	m.stats.BytesWritten += size
-	m.maybeWriteback(now)
+	now = m.balanceDirty(now)
 	return now, nil
 }
 
-// Fsync makes fd's data and metadata durable: dirty data pages are
-// flushed synchronously (elevator order), then the file system's
-// journal/metadata steps run synchronously.
+// Fsync makes fd's data and metadata durable: any of the write-back
+// daemon's in-flight pages are waited out first (they are not durable
+// until their completion events fire — the wait is global, an
+// ext3-flavored modeling choice: like that era's journal-entangled
+// fsync, it may charge other files' write-back to this call), then
+// dirty data pages are flushed synchronously (elevator order), then
+// the file system's journal/metadata steps run synchronously.
 func (m *Mount) Fsync(at sim.Time, fd *FD) (sim.Time, error) {
 	m.stats.Fsyncs++
 	now := at + m.cfg.SyscallOverhead
-	l1 := m.PC.L1
-	var reqs []device.Request
-	var ids []cache.PageID
-	for _, id := range l1.CollectDirtyFile(nil, uint64(fd.Ino)) {
-		lba, ok := m.pageLBA(id)
-		if !ok {
-			l1.Clean(id)
-			continue
-		}
-		reqs = append(reqs, device.Request{Op: device.Write, LBA: lba, Sectors: sectorsPerBlock})
-		ids = append(ids, id)
-	}
-	if len(reqs) > 0 {
-		done, err := m.submitBatchSync(now, reqs)
-		if err != nil {
-			return now, err
-		}
-		now = done
-		for _, id := range ids {
-			l1.Clean(id)
-		}
+	now = m.waitWriteback(now)
+	now, err := m.flushSync(now, m.PC.L1.CollectDirtyFile(nil, uint64(fd.Ino)))
+	if err != nil {
+		return now, err
 	}
 	steps, err := m.FS.Fsync(fd.Ino)
 	if err != nil {

@@ -7,9 +7,11 @@
 // the operation's latency, which the paper's Figures 3 and 4 histogram.
 // Reads consult the cache hierarchy per page; misses resolve the block
 // mapping through the file system (charging metadata I/O through the
-// same cache) and read the device. Writes dirty cache pages; a
-// write-back flusher issues elevator-sorted batches asynchronously —
-// they do not add to the triggering operation's latency but they do
+// same cache) and read the device. Writes dirty cache pages; in
+// event-driven runs a pdflush-style daemon process ages them out
+// under its own requester identity while dirty throttling parks
+// writers at the high-water mark, and in immediate mode an inline
+// flusher issues elevator-sorted batches — either way deferred writes
 // keep the device busy, delaying subsequent misses, exactly the
 // coupling that makes "simple" benchmarks fragile.
 package vfs
@@ -39,11 +41,25 @@ type Config struct {
 	// from the flash tier.
 	L2HitPerPage sim.Time
 	// DirtyRatio triggers write-back when dirty pages exceed this
-	// fraction of L1 capacity.
+	// fraction of L1 capacity (the background threshold: the inline
+	// flusher in immediate mode, the daemon in event mode).
 	DirtyRatio float64
+	// DirtyHighRatio is the dirty-throttling high-water mark for
+	// event-driven runs: a write-path operation parks its process while
+	// dirty + in-flight write-back pages are at or above this fraction
+	// of L1 capacity, resuming on write-back completions. <= DirtyRatio
+	// selects 2x DirtyRatio (0.40 under DefaultConfig).
+	DirtyHighRatio float64
 	// WritebackBatch is the number of pages flushed per write-back
 	// round.
 	WritebackBatch int
+	// WritebackInterval is the write-back daemon's wake period in
+	// event-driven runs (<= 0 selects 500 ms). The daemon is the
+	// pdflush of this stack: a simulated process that wakes
+	// periodically, ages out the oldest-dirtied pages in batches, and
+	// competes for the device queue under its own identity
+	// (device.OwnerDaemon).
+	WritebackInterval sim.Time
 	// AtimeUpdates enables access-time maintenance on reads (the
 	// 2011-era default; relatime arrived later).
 	AtimeUpdates bool
@@ -54,7 +70,8 @@ type Config struct {
 	// depth 1 every scheduler degenerates to FCFS.
 	QueueDepth int
 	// Scheduler names the I/O scheduler for event-driven runs:
-	// "fcfs", "elevator", "ncq" ("" selects device.DefaultScheduler).
+	// "fcfs", "elevator", "ncq", "cfq" ("" selects
+	// device.DefaultScheduler).
 	Scheduler string
 }
 
@@ -62,12 +79,14 @@ type Config struct {
 // paper's era.
 func DefaultConfig() Config {
 	return Config{
-		SyscallOverhead: 2 * sim.Microsecond,
-		HitPerPage:      1500 * sim.Nanosecond,
-		L2HitPerPage:    90 * sim.Microsecond,
-		DirtyRatio:      0.20,
-		WritebackBatch:  256,
-		AtimeUpdates:    true,
+		SyscallOverhead:   2 * sim.Microsecond,
+		HitPerPage:        1500 * sim.Nanosecond,
+		L2HitPerPage:      90 * sim.Microsecond,
+		DirtyRatio:        0.20,
+		DirtyHighRatio:    0.40,
+		WritebackBatch:    256,
+		WritebackInterval: 500 * sim.Millisecond,
+		AtimeUpdates:      true,
 	}
 }
 
@@ -77,6 +96,12 @@ type Stats struct {
 	BytesRead, BytesWritten                                                 int64
 	DentryHits, DentryMisses                                                int64
 	WritebackRounds, WritebackPages                                         int64
+	// ThrottleStalls counts write-path operations that parked at the
+	// dirty high-water mark (event mode only).
+	ThrottleStalls int64
+	// DirtyPeakPages is the high-water mark of dirty + in-flight
+	// write-back pages observed at write-path op boundaries.
+	DirtyPeakPages int64
 }
 
 // Mount is a mounted stack. It is not locked: callers are either a
@@ -108,15 +133,41 @@ type Mount struct {
 	loop  *sim.EventLoop
 	queue *device.Queue
 	// cur is the process currently holding the baton. Every yield
-	// point restores it on resume, so nested blocking submissions
-	// inside one VFS call chain stay bound to their own process.
+	// point restores it (together with curOwner) on resume, so nested
+	// blocking submissions inside one VFS call chain stay bound to
+	// their own process.
 	cur *sim.Proc
+	// curOwner is the requester identity stamped on requests the
+	// current process submits (device.OwnerNone outside event mode),
+	// so schedulers and fairness stats can attribute every I/O. It is
+	// restored alongside cur at every yield point: while a process is
+	// parked, another thread's SetProc rebinds both.
+	curOwner int
+	// flusherStop tells the write-back daemon to exit at its next
+	// wake, letting the event loop drain after the workload finishes.
+	flusherStop bool
+	// dirtyWaiters are processes parked on dirty/write-back state —
+	// throttled writers, SyncAll, Fsync — in park order. Every
+	// write-back completion wakes them once each to re-check.
+	dirtyWaiters []*sim.Proc
 }
 
 // New mounts filesystem fsys on dev behind the cache hierarchy pc.
 func New(fsys fs.FileSystem, dev device.Device, pc *cache.Hierarchy, cfg Config) *Mount {
 	if cfg.WritebackBatch <= 0 {
 		cfg.WritebackBatch = 256
+	}
+	if cfg.WritebackInterval <= 0 {
+		cfg.WritebackInterval = 500 * sim.Millisecond
+	}
+	if cfg.DirtyHighRatio <= cfg.DirtyRatio {
+		// The high-water mark must sit above the background threshold,
+		// or writers would park below the point where the daemon even
+		// starts flushing.
+		cfg.DirtyHighRatio = 2 * cfg.DirtyRatio
+	}
+	if cfg.DirtyHighRatio <= 0 {
+		cfg.DirtyHighRatio = 0.40
 	}
 	m := &Mount{
 		FS:     fsys,
@@ -156,9 +207,10 @@ func (m *Mount) Readahead() cache.Readahead { return m.ra }
 
 // BeginEvents switches the mount into event mode on loop: a
 // device.Queue (sized by Config.QueueDepth, drained by
-// Config.Scheduler) is placed in front of the device, and subsequent
-// operations must run inside processes registered with SetProc. The
-// workload engine calls this at the start of every measured run.
+// Config.Scheduler) is placed in front of the device, the write-back
+// daemon starts as a simulated process, and subsequent operations
+// must run inside processes registered with SetProc. The workload
+// engine calls this at the start of every measured run.
 func (m *Mount) BeginEvents(loop *sim.EventLoop) error {
 	sched, err := device.NewScheduler(m.cfg.Scheduler)
 	if err != nil {
@@ -166,6 +218,8 @@ func (m *Mount) BeginEvents(loop *sim.EventLoop) error {
 	}
 	m.loop = loop
 	m.queue = device.NewQueue(m.Dev, sched, m.cfg.QueueDepth, loop)
+	m.flusherStop = false
+	loop.Go(loop.Now(), m.flusherMain)
 	return nil
 }
 
@@ -177,27 +231,215 @@ func (m *Mount) EndEvents() device.QueueStats {
 		stats = m.queue.Stats()
 	}
 	m.loop, m.queue, m.cur = nil, nil, nil
+	m.curOwner = device.OwnerNone
+	m.flusherStop = true
+	m.dirtyWaiters = nil
 	return stats
 }
 
 // Queue exposes the event-mode device queue (nil in immediate mode).
 func (m *Mount) Queue() *device.Queue { return m.queue }
 
-// SetProc binds subsequent operations to process p. The engine calls
-// it whenever a virtual thread regains the baton.
-func (m *Mount) SetProc(p *sim.Proc) { m.cur = p }
+// SetProc binds subsequent operations to process p, submitting I/O as
+// the given requester identity (a positive owner id; the engine uses
+// thread index + 1). The engine calls it whenever a virtual thread
+// regains the baton.
+func (m *Mount) SetProc(p *sim.Proc, owner int) { m.cur, m.curOwner = p, owner }
+
+// StopWriteback tells the write-back daemon to exit at its next wake.
+// The engine calls it when the last workload thread finishes so the
+// event loop can drain; pages still dirty stay dirty (a caller
+// wanting durability runs SyncAll afterwards).
+func (m *Mount) StopWriteback() { m.flusherStop = true }
+
+// --- Write-back daemon and dirty throttling --------------------------
+
+// flusherMain is the write-back daemon: the pdflush of this stack. It
+// wakes every WritebackInterval of virtual time and, while dirty
+// pages exceed the background threshold (DirtyRatio), retires them
+// oldest-dirtied first in WritebackBatch-sized bursts submitted under
+// its own identity (device.OwnerDaemon). Flushed pages sit in the
+// write-back state until their completion events fire — only then do
+// they become clean — so the daemon genuinely competes with workload
+// threads for the device instead of flushing for free at op
+// boundaries.
+func (m *Mount) flusherMain(p *sim.Proc) {
+	for {
+		p.Sleep(m.cfg.WritebackInterval)
+		if m.flusherStop || m.queue == nil {
+			return
+		}
+		m.flusherRound(p.Now())
+		// Unmappable pages are cleaned without a completion event;
+		// give anyone parked on dirty state a chance to re-check.
+		m.wakeDirtyWaiters()
+	}
+}
+
+// flusherRound flushes batches until dirty pages drop below the
+// background threshold or nothing flushable remains.
+func (m *Mount) flusherRound(now sim.Time) {
+	l1 := m.PC.L1
+	if l1.Capacity() == 0 {
+		return
+	}
+	threshold := int(m.cfg.DirtyRatio * float64(l1.Capacity()))
+	if threshold < 1 {
+		threshold = 1
+	}
+	for l1.DirtyCount() >= threshold {
+		if m.flushBatch(now) == 0 {
+			return // all remaining dirty pages unmappable or already in flight
+		}
+	}
+}
+
+// flushBatch collects one batch of dirty pages (oldest dirtied
+// first), moves them to the write-back state, and submits their
+// writes under the daemon's identity. Pages become clean only when
+// each write's completion event fires (endWriteback) — until then
+// they count against the dirty high-water mark, so throttling and
+// SyncAll see true in-flight state. It returns the number of writes
+// issued.
+func (m *Mount) flushBatch(at sim.Time) int {
+	l1 := m.PC.L1
+	m.scratch = l1.CollectDirty(m.scratch[:0], m.cfg.WritebackBatch)
+	issued := 0
+	for _, id := range m.scratch {
+		lba, ok := m.pageLBA(id)
+		if !ok {
+			l1.Clean(id) // unmappable page: drop the dirty bit
+			continue
+		}
+		gen, ok := l1.MarkWriteback(id)
+		if !ok {
+			continue // re-dirtied while a previous flush is still in flight
+		}
+		m.queue.Submit(at, device.Request{
+			Op: device.Write, LBA: lba, Sectors: sectorsPerBlock, Owner: device.OwnerDaemon,
+		}, func(_ sim.Time, _ error) { m.endWriteback(id, gen) })
+		issued++
+	}
+	if issued > 0 {
+		m.stats.WritebackRounds++
+		m.stats.WritebackPages += int64(issued)
+	}
+	return issued
+}
+
+// endWriteback runs in loop context at a flusher write's completion:
+// the page leaves the write-back state (staying dirty only if
+// re-dirtied mid-flight) and parked processes re-check their
+// conditions.
+func (m *Mount) endWriteback(id cache.PageID, gen uint64) {
+	m.PC.L1.EndWriteback(id, gen)
+	m.wakeDirtyWaiters()
+}
+
+// wakeDirtyWaiters unparks, in park order, every process waiting on
+// dirty/write-back state. Each woken process runs to its next park
+// before the next is woken (one-baton discipline) and re-parks itself
+// — onto the fresh list, to be woken at the next completion — if its
+// condition still holds, so the wake order and the whole simulation
+// stay deterministic.
+func (m *Mount) wakeDirtyWaiters() {
+	if len(m.dirtyWaiters) == 0 {
+		return
+	}
+	ws := m.dirtyWaiters
+	m.dirtyWaiters = nil
+	for _, p := range ws {
+		p.Unpark()
+	}
+}
+
+// dirtyHighPages is the throttling high-water mark in pages.
+func (m *Mount) dirtyHighPages() int {
+	high := int(m.cfg.DirtyHighRatio * float64(m.PC.L1.Capacity()))
+	if high < 1 {
+		high = 1
+	}
+	return high
+}
+
+// balanceDirty applies dirty-page back pressure at a write-path op
+// boundary. In immediate mode it runs the inline flusher
+// (maybeWriteback), unchanged. In event mode flushing belongs to the
+// write-back daemon; the writing process instead parks — dirty
+// throttling, the balance_dirty_pages of this VFS — while dirty plus
+// in-flight write-back pages sit at or above the high-water mark, and
+// resumes as completion events bring the total down. It returns the
+// (possibly advanced) virtual time, which the caller charges to the
+// operation: a writer outrunning the device pays the stall in its own
+// latency.
+func (m *Mount) balanceDirty(at sim.Time) sim.Time {
+	if m.queue == nil || m.cur == nil {
+		m.maybeWriteback(at)
+		return at
+	}
+	l1 := m.PC.L1
+	if l1.Capacity() == 0 {
+		return at
+	}
+	if n := int64(l1.DirtyCount() + l1.WritebackCount()); n > m.stats.DirtyPeakPages {
+		m.stats.DirtyPeakPages = n
+	}
+	high := m.dirtyHighPages()
+	if l1.DirtyCount()+l1.WritebackCount() < high {
+		return at
+	}
+	p, owner := m.cur, m.curOwner
+	p.WaitUntil(at) // realign before sleeping on the wait list
+	m.cur, m.curOwner = p, owner
+	m.stats.ThrottleStalls++
+	for l1.DirtyCount()+l1.WritebackCount() >= high {
+		m.dirtyWaiters = append(m.dirtyWaiters, p)
+		p.Park()
+		m.cur, m.curOwner = p, owner
+	}
+	return p.Now()
+}
+
+// waitWriteback parks the current process until the daemon's
+// in-flight write-back drains (event mode only): those pages are no
+// longer dirty but not yet durable, and sync paths must not report
+// durability before their completion events fire. It returns the
+// (possibly advanced) virtual time.
+func (m *Mount) waitWriteback(at sim.Time) sim.Time {
+	if m.queue == nil || m.cur == nil || m.PC.L1.WritebackCount() == 0 {
+		return at
+	}
+	p, owner := m.cur, m.curOwner
+	p.WaitUntil(at)
+	m.cur, m.curOwner = p, owner
+	for m.PC.L1.WritebackCount() > 0 {
+		m.dirtyWaiters = append(m.dirtyWaiters, p)
+		p.Park()
+		m.cur, m.curOwner = p, owner
+	}
+	return p.Now()
+}
+
+// stampOwner attributes a request to the current process's requester
+// identity unless the caller already chose one (the daemon).
+func (m *Mount) stampOwner(req *device.Request) {
+	if req.Owner == device.OwnerNone {
+		req.Owner = m.curOwner
+	}
+}
 
 // submitSync issues one request and blocks until it completes: in
 // immediate mode through the device directly, in event mode by
 // enqueueing and parking the current process until the completion
 // event fires. The returned time includes queueing delay.
 func (m *Mount) submitSync(at sim.Time, req device.Request) (sim.Time, error) {
+	m.stampOwner(&req)
 	if m.queue == nil || m.cur == nil {
 		return m.Dev.Submit(at, req)
 	}
-	p := m.cur
+	p, owner := m.cur, m.curOwner
 	p.WaitUntil(at)
-	m.cur = p // restore after a potential yield
+	m.cur, m.curOwner = p, owner // restore after a potential yield
 	var done sim.Time
 	var rerr error
 	m.queue.Submit(p.Now(), req, func(t sim.Time, err error) {
@@ -205,7 +447,7 @@ func (m *Mount) submitSync(at sim.Time, req device.Request) (sim.Time, error) {
 		p.Unpark()
 	})
 	p.Park()
-	m.cur = p
+	m.cur, m.curOwner = p, owner
 	return done, rerr
 }
 
@@ -219,6 +461,7 @@ func (m *Mount) submitSync(at sim.Time, req device.Request) (sim.Time, error) {
 // submission is synchronous underneath; in event mode it is always
 // nil and failures reach onErr (or just the queue's error counter).
 func (m *Mount) submitAsync(at sim.Time, req device.Request, onErr func(error)) error {
+	m.stampOwner(&req)
 	if m.queue == nil {
 		_, err := m.Dev.Submit(at, req)
 		if err != nil && onErr != nil {
@@ -248,12 +491,15 @@ func (m *Mount) submitBatchSync(at sim.Time, reqs []device.Request) (sim.Time, e
 	if len(reqs) == 0 {
 		return at, nil
 	}
+	for i := range reqs {
+		m.stampOwner(&reqs[i])
+	}
 	if m.queue == nil || m.cur == nil {
 		return device.SubmitBatch(m.Dev, at, reqs)
 	}
-	p := m.cur
+	p, owner := m.cur, m.curOwner
 	p.WaitUntil(at)
-	m.cur = p
+	m.cur, m.curOwner = p, owner
 	remaining := len(reqs)
 	var last sim.Time
 	var firstErr error
@@ -272,7 +518,7 @@ func (m *Mount) submitBatchSync(at sim.Time, reqs []device.Request) (sim.Time, e
 		})
 	}
 	p.Park()
-	m.cur = p
+	m.cur, m.curOwner = p, owner
 	return last, firstErr
 }
 
@@ -401,9 +647,13 @@ func (m *Mount) pageLBA(id cache.PageID) (int64, bool) {
 	return blockLBA(exts[0].DiskBlock), true
 }
 
-// maybeWriteback runs the background flusher when the dirty ratio is
-// exceeded: collect a batch, sort by LBA (the elevator), issue
-// asynchronously, mark clean.
+// maybeWriteback runs the inline flusher when the dirty ratio is
+// exceeded: collect a batch, sort by LBA (the elevator), issue,
+// mark clean. It serves immediate mode only (setup, trace replay),
+// where the submission is synchronous underneath and clean-at-submit
+// is clean-at-completion; in event mode flushing belongs to the
+// write-back daemon (flusherMain), which cleans pages in completion
+// callbacks instead.
 func (m *Mount) maybeWriteback(at sim.Time) {
 	l1 := m.PC.L1
 	if l1.Capacity() == 0 {
@@ -432,17 +682,7 @@ func (m *Mount) maybeWriteback(at sim.Time) {
 	if len(reqs) == 0 {
 		return
 	}
-	if m.queue != nil {
-		// Event mode: the flusher dumps the batch into the device
-		// queue and the configured I/O scheduler orders it — the
-		// elevator ablation now happens where it does in a real block
-		// layer.
-		for _, r := range reqs {
-			m.submitAsync(at, r, nil)
-		}
-	} else {
-		device.SubmitBatch(m.Dev, at, reqs)
-	}
+	device.SubmitBatch(m.Dev, at, reqs)
 	for _, id := range flushed {
 		l1.Clean(id)
 	}
@@ -450,33 +690,61 @@ func (m *Mount) maybeWriteback(at sim.Time) {
 	m.stats.WritebackPages += int64(len(flushed))
 }
 
-// SyncAll flushes every dirty page and the file-system journal,
-// returning when the device is quiet. Benchmarks call it between
-// phases so one phase's deferred work is not charged to the next.
-func (m *Mount) SyncAll(at sim.Time) (sim.Time, error) {
+// flushSync writes the given dirty pages synchronously and returns
+// the completion time. The pages transit the write-back state like
+// the daemon's flights — so a concurrent daemon wake cannot collect
+// and double-submit them while the caller is parked, and a page
+// re-dirtied during the wait stays dirty instead of being silently
+// cleaned. Sync paths (SyncAll, Fsync) share it.
+func (m *Mount) flushSync(at sim.Time, ids []cache.PageID) (sim.Time, error) {
 	l1 := m.PC.L1
-	ids := l1.CollectDirty(nil, 0)
 	reqs := make([]device.Request, 0, len(ids))
+	marked := make([]cache.PageID, 0, len(ids))
+	gens := make([]uint64, 0, len(ids))
 	for _, id := range ids {
 		lba, ok := m.pageLBA(id)
 		if !ok {
-			l1.Clean(id)
+			l1.Clean(id) // unmappable page: drop the dirty bit
+			continue
+		}
+		// The caller drained in-flight write-back first and collected
+		// from the dirty list, so the transition cannot fail; guard
+		// anyway rather than double-write.
+		gen, ok := l1.MarkWriteback(id)
+		if !ok {
 			continue
 		}
 		reqs = append(reqs, device.Request{Op: device.Write, LBA: lba, Sectors: sectorsPerBlock})
+		marked = append(marked, id)
+		gens = append(gens, gen)
 	}
 	done := at
+	var err error
 	if len(reqs) > 0 {
-		var err error
+		// submitBatchSync waits for every completion even when one
+		// errors, so the flights below are finished either way.
 		done, err = m.submitBatchSync(at, reqs)
-		if err != nil {
-			return done, err
-		}
 	}
-	for _, id := range ids {
-		l1.Clean(id)
+	for i, id := range marked {
+		l1.EndWriteback(id, gens[i])
 	}
-	return done, nil
+	if len(marked) > 0 && m.loop != nil {
+		// The write-back population just dropped: let throttled
+		// writers re-check (in loop context, as Unpark requires).
+		m.loop.Schedule(done, func() { m.wakeDirtyWaiters() })
+	}
+	return done, err
+}
+
+// SyncAll flushes every dirty page and the file-system journal,
+// returning when the device is quiet. Benchmarks call it between
+// phases so one phase's deferred work is not charged to the next. In
+// event mode it first waits out the daemon's in-flight write-back —
+// those pages are neither dirty nor durable until their completion
+// events fire.
+func (m *Mount) SyncAll(at sim.Time) (sim.Time, error) {
+	at = m.waitWriteback(at)
+	return m.flushSync(at, m.PC.L1.CollectDirty(nil, 0))
 }
 
 // --- Path resolution -------------------------------------------------

@@ -19,6 +19,11 @@ type Probe struct {
 	Series   *metrics.TimeSeries        // op completion counts over time
 	Hist     *metrics.Histogram         // op latency distribution
 	Timeline *metrics.HistogramTimeline // latency histograms over time
+	// PerOwner, when non-nil, receives each operation keyed by the
+	// issuing thread's OwnerID — per-thread op counts and latency
+	// histograms, the fairness view. It honors Kinds and HistSince
+	// like Hist.
+	PerOwner *metrics.PerOwner
 	// HistSince limits Hist recording to operations completing at or
 	// after this virtual time (the paper's "report only the last
 	// minute" steady-state protocol).
@@ -30,7 +35,7 @@ type Probe struct {
 	Trace func(kind OpKind, path string, offset, size int64, start, done sim.Time)
 }
 
-func (p *Probe) record(kind OpKind, path string, offset, size int64, start, done sim.Time) {
+func (p *Probe) record(owner int, kind OpKind, path string, offset, size int64, start, done sim.Time) {
 	if p == nil {
 		return
 	}
@@ -44,8 +49,13 @@ func (p *Probe) record(kind OpKind, path string, offset, size int64, start, done
 		p.Series.Add(done, 1)
 	}
 	lat := done - start
-	if p.Hist != nil && done >= p.HistSince {
-		p.Hist.Record(lat)
+	if done >= p.HistSince {
+		if p.Hist != nil {
+			p.Hist.Record(lat)
+		}
+		if p.PerOwner != nil {
+			p.PerOwner.Record(owner, lat)
+		}
 	}
 	if p.Timeline != nil {
 		p.Timeline.Record(done, lat)
@@ -62,7 +72,14 @@ type fsState struct {
 
 // threadState is one virtual thread.
 type threadState struct {
-	spec    *ThreadSpec
+	spec *ThreadSpec
+	// owner is the thread's stable OwnerID: its index in the engine's
+	// thread list, assigned in thread-spec declaration order. Probes
+	// record per-owner stats under it; the mount submits the thread's
+	// I/O as device owner owner+1 (positive, distinct from
+	// device.OwnerNone and device.OwnerDaemon), so schedulers can
+	// attribute every request to its requester.
+	owner   int
 	now     sim.Time
 	opIdx   int
 	iter    int
@@ -133,6 +150,7 @@ func NewEngine(m *vfs.Mount, w *Workload, seed uint64) (*Engine, error) {
 		for c := 0; c < spec.Count; c++ {
 			e.threads = append(e.threads, &threadState{
 				spec:    spec,
+				owner:   len(e.threads),
 				cursors: make(map[string]int64),
 				fds:     make(map[string]*vfs.FD),
 				rng:     e.rng.Split(),
@@ -260,16 +278,26 @@ func (e *Engine) Run(from, until sim.Time) (sim.Time, error) {
 		return from, err
 	}
 	var runErr error
+	remaining := len(e.threads)
 	for _, th := range e.threads {
 		th := th
 		th.now = from
 		loop.Go(from, func(p *sim.Proc) {
+			defer func() {
+				// When the last thread finishes, tell the write-back
+				// daemon to exit at its next wake — otherwise its
+				// periodic wake-up would keep the loop alive forever.
+				if remaining--; remaining == 0 {
+					e.m.StopWriteback()
+				}
+			}()
 			for th.now < until && runErr == nil {
 				// Align the op's start with the global clock so ops
 				// across threads execute in virtual-time order, then
-				// rebind the mount to this thread's process.
+				// rebind the mount to this thread's process and
+				// requester identity.
 				p.WaitUntil(th.now)
-				e.m.SetProc(p)
+				e.m.SetProc(p, th.owner+1)
 				if err := e.step(th); err != nil {
 					if runErr == nil {
 						runErr = err
@@ -522,7 +550,7 @@ func (e *Engine) execOp(th *threadState, op Flowop) error {
 	}
 	e.counter.Ops++
 	e.counter.Bytes += op.IOSize
-	e.probe.record(op.Kind, tPath, tOff, op.IOSize, start, done)
+	e.probe.record(th.owner, op.Kind, tPath, tOff, op.IOSize, start, done)
 	th.now = done
 	return nil
 }

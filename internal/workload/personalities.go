@@ -1,6 +1,10 @@
 package workload
 
-import "repro/internal/sim"
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
 
 // This file provides the stock personalities. RandomRead is the
 // paper's case-study workload; the rest are the Filebench-style mixes
@@ -188,10 +192,58 @@ func OLTP(dbSize int64, threads int) *Workload {
 	}
 }
 
+// MixedRegions is the fairness personality: `regions` reader classes,
+// each pinned to its own fileset. The filesets are created in
+// declaration order, so a contiguous allocator lays class i's files
+// in the i-th stripe of the disk — giving every thread class a
+// spatial home. An optional appender class dirties pages to keep the
+// write-back daemon in the scheduler mix.
+//
+// The point of the pinning: under a seek-greedy scheduler (NCQ) the
+// middle stripes win the head and the edge stripes starve until the
+// anti-starvation deadline bails them out, which per-thread op counts
+// and the Jain index expose; a fair scheduler (CFQ) levels service
+// across classes. Readers occupy OwnerIDs 0..regions*readersPerRegion-1
+// (declaration order), writers the ids after them.
+func MixedRegions(regions, readersPerRegion, writers int, regionBytes, ioSize int64) *Workload {
+	const filesPerRegion = 4
+	w := &Workload{Name: "mixedregions"}
+	for r := 0; r < regions; r++ {
+		name := fmt.Sprintf("r%d", r)
+		w.FileSets = append(w.FileSets, FileSet{
+			Name: name, Dir: "/" + name, Entries: filesPerRegion,
+			MeanSize: regionBytes / filesPerRegion, PreallocFrac: 1,
+		})
+		w.Threads = append(w.Threads, ThreadSpec{
+			Name: name + "-reader", Count: readersPerRegion, PerOpOverhead: DefaultPerOpOverhead,
+			Flowops: []Flowop{{Kind: OpReadRand, FileSet: name, IOSize: ioSize}},
+		})
+	}
+	if writers > 0 {
+		w.FileSets = append(w.FileSets, FileSet{
+			Name: "wlog", Dir: "/wlog", Entries: writers, MeanSize: 0, PreallocFrac: 1,
+		})
+		// Paced appenders (think time between ops, like a log writer):
+		// an unthrottled append loop would saturate the device with
+		// write-back, push every read to NCQ's anti-starvation deadline,
+		// and flatten the very scheduler differences the personality
+		// exists to expose.
+		w.Threads = append(w.Threads, ThreadSpec{
+			Name: "writer", Count: writers, PerOpOverhead: DefaultPerOpOverhead,
+			Flowops: []Flowop{
+				{Kind: OpAppend, FileSet: "wlog", IOSize: 16 << 10},
+				{Kind: OpThink, Think: 25 * sim.Millisecond},
+			},
+		})
+	}
+	return w
+}
+
 // Personalities lists the stock constructors by name for CLI use.
 func Personalities() []string {
 	return []string{"randomread", "seqread", "randomwrite", "seqwrite",
-		"createdelete", "webserver", "fileserver", "varmail", "oltp"}
+		"createdelete", "webserver", "fileserver", "varmail", "oltp",
+		"mixedregions"}
 }
 
 // ByName builds a stock personality with representative defaults.
@@ -215,6 +267,8 @@ func ByName(name string) (*Workload, bool) {
 		return VarMail(1000, 16<<10, 2), true
 	case "oltp":
 		return OLTP(256<<20, 4), true
+	case "mixedregions":
+		return MixedRegions(4, 8, 2, 256<<20, 2<<10), true
 	}
 	return nil, false
 }
