@@ -408,19 +408,29 @@ func BenchmarkMultiLevelCacheSteps(b *testing.B) {
 
 // BenchmarkContention quantifies design decision 5 (queue depth and
 // scheduler): a 16-thread disk-bound random read at queue depth 1 vs
-// 32 under NCQ. The metrics are the depth-32 throughput gain and its
-// p99 latency cost.
+// 32 under NCQ, on the single-service disk and on the multi-queue
+// NVMe device (4 channels). The metrics are the depth-32 throughput
+// gain and its p99 latency cost per device.
 func BenchmarkContention(b *testing.B) {
-	run := func(b *testing.B, depth, i int) (tp, p99ms float64) {
+	run := func(b *testing.B, dev string, depth, i int) (tp, p99ms float64) {
 		stack := benchStack()
 		stack.OSReserveJitter = 0
 		stack.Scheduler = "ncq"
 		stack.QueueDepth = depth
+		duration, window := 15*Second, 5*Second
+		if dev == "nvme" {
+			stack.Device = "nvme"
+			stack.NVMeChannels = 4
+			// The NVMe device is ~100x faster, so the same virtual
+			// duration would simulate ~100x the operations; shorten it
+			// to keep the 1-CPU CI bench job's wall time bounded.
+			duration, window = 5*Second, 2*Second
+		}
 		exp := &Experiment{
 			Name:     "contention",
 			Stack:    stack,
 			Workload: RandomRead(1<<30, 2<<10, 16),
-			Runs:     1, Duration: 15 * Second, MeasureWindow: 5 * Second,
+			Runs:     1, Duration: duration, MeasureWindow: window,
 			ColdCache: true,
 			// Seed by iteration only, so the qd=1 and qd=32 metrics
 			// compare identical request streams.
@@ -433,16 +443,18 @@ func BenchmarkContention(b *testing.B) {
 		}
 		return res.Throughput.Mean, float64(res.Hist.Percentile(99)) / 1e6
 	}
-	for _, depth := range []int{1, 32} {
-		depth := depth
-		b.Run(fmt.Sprintf("qd=%d", depth), func(b *testing.B) {
-			var tp, p99 float64
-			for i := 0; i < b.N; i++ {
-				tp, p99 = run(b, depth, i)
-			}
-			b.ReportMetric(tp, "ops/s")
-			b.ReportMetric(p99, "p99-ms")
-		})
+	for _, dev := range []string{"hdd", "nvme"} {
+		for _, depth := range []int{1, 32} {
+			dev, depth := dev, depth
+			b.Run(fmt.Sprintf("dev=%s/qd=%d", dev, depth), func(b *testing.B) {
+				var tp, p99 float64
+				for i := 0; i < b.N; i++ {
+					tp, p99 = run(b, dev, depth, i)
+				}
+				b.ReportMetric(tp, "ops/s")
+				b.ReportMetric(p99, "p99-ms")
+			})
+		}
 	}
 }
 

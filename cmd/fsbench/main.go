@@ -27,7 +27,8 @@ func main() {
 		workloadName = flag.String("workload", "randomread", "stock personality to run (see -list)")
 		wdlPath      = flag.String("wdl", "", "WDL workload file (overrides -workload)")
 		fsName       = flag.String("fs", "ext2", "file system model: ext2, ext3, xfs")
-		devName      = flag.String("device", "hdd", "device model: hdd, ssd, ramdisk")
+		devName      = flag.String("device", "hdd", "device model: hdd, ssd, ramdisk, nvme")
+		nvmeChannels = flag.Int("nvme-channels", 0, "NVMe service channels (device-side concurrency; 0 = model default, 4)")
 		ramMB        = flag.Int64("ram", 512, "RAM in MB")
 		reserveMB    = flag.Int64("os-reserve", 102, "mean OS-reserved memory in MB")
 		jitterMB     = flag.Int64("jitter", 2, "per-run OS reserve stddev in MB")
@@ -72,6 +73,7 @@ func main() {
 	stack := fsbench.StackConfig{
 		FS:              *fsName,
 		Device:          *devName,
+		NVMeChannels:    *nvmeChannels,
 		DiskBytes:       64 << 30,
 		RAMBytes:        *ramMB << 20,
 		OSReserveBytes:  *reserveMB << 20,

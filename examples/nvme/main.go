@@ -1,0 +1,82 @@
+// NVMe: device-level concurrency made visible. The same scattered
+// 2 KB random-read workload runs on the single-service disk and on
+// the multi-queue NVMe model at 1, 2, and 4 channels.
+//
+// The block-layer queue dispatches while the device has a free
+// service slot, so an NVMe device with K channels genuinely services
+// K requests at once: throughput scales with the channel count until
+// the closed-loop threads can no longer keep the channels fed. The
+// disk, serviced one request at a time, gets nothing from the same
+// queue — on modern SSDs, queue-depth sweeps measure exactly this
+// device-side parallelism, which a one-at-a-time device model erases.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	fsbench "repro"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	type row struct {
+		label string
+		tp    float64
+		p99us float64
+	}
+	var rows []row
+
+	run := func(label, device string, channels int, dur, win fsbench.Time) {
+		stack := fsbench.StackConfig{
+			FS: "ext2", Device: device, NVMeChannels: channels,
+			DiskBytes: 4 << 30, RAMBytes: 64 << 20, OSReserveBytes: 13 << 20,
+			CachePolicy: "lru", Scheduler: "ncq",
+		}
+		exp := &fsbench.Experiment{
+			Name:  "nvme-" + label,
+			Stack: stack,
+			// 512 MB file ≫ the ~51 MB cache: reads reach the device;
+			// 8 threads keep up to 8 requests outstanding.
+			Workload:      fsbench.RandomRead(512<<20, 2<<10, 8),
+			Runs:          2,
+			Duration:      dur,
+			MeasureWindow: win,
+			ColdCache:     true,
+			Seed:          7,
+			Kinds:         []fsbench.OpKind{workload.OpReadRand},
+		}
+		res, err := exp.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{label, res.Throughput.Mean,
+			float64(res.Hist.Percentile(99)) / 1e3})
+	}
+
+	// The disk gets a longer window (it does ~100 ops/s); the NVMe
+	// runs simulate far more ops per virtual second, so short windows
+	// keep the example quick. Throughput is a rate either way.
+	run("hdd", "hdd", 0, 20*fsbench.Second, 10*fsbench.Second)
+	for _, ch := range []int{1, 2, 4} {
+		run(fmt.Sprintf("%dch", ch), "nvme", ch, 3*fsbench.Second, 1500*fsbench.Millisecond)
+	}
+
+	t := &report.Table{
+		Title:   "scattered 2 KB random reads, 8 threads, ncq at queue depth 32",
+		Headers: []string{"device", "ops/s", "p99 us"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.label, fmt.Sprintf("%.0f", r.tp), fmt.Sprintf("%.0f", r.p99us))
+	}
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nnvme 1 channel vs hdd: %.0fx — no seek, no rotation\n", rows[1].tp/rows[0].tp)
+	fmt.Printf("nvme 4 vs 1 channels: %.2fx — the queue keeps all four channels busy\n",
+		rows[3].tp/rows[1].tp)
+	fmt.Printf("the residue: per-request command overhead and a finite closed loop keep it shy of 4.00x\n")
+}

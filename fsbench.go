@@ -37,19 +37,25 @@
 // (DESIGN.md): virtual threads are simulated processes that block when
 // they issue I/O and wake on the completion event, and a bounded
 // device queue drained by a pluggable I/O scheduler sits in front of
-// the device. Two StackConfig knobs control it:
+// the device. The queue keeps up to the device's service width in
+// flight: mechanical models (hdd, ssd, ramdisk) service one request
+// at a time, the NVMe model one per channel. Three StackConfig knobs
+// control it:
 //
 //   - QueueDepth bounds the scheduler's reorder window (0 = 32,
 //     NCQ-scale; 1 degenerates every scheduler to FCFS).
 //   - Scheduler picks the policy: "fcfs", "elevator" (C-LOOK), "ncq"
 //     (shortest-seek-first with anti-starvation), or "cfq"
 //     (per-requester queues with time-sliced round-robin).
+//   - Device picks the model ("hdd", "ssd", "ramdisk", "nvme"), with
+//     NVMeChannels setting device-side concurrency (0 = 4).
 //
 // Contention therefore emerges instead of being assumed: a 16-thread
 // workload at QueueDepth 32 completes more operations than at depth 1,
 // and its p99 latency inflates as reordering starves unlucky requests.
 // ThreadCountSweep sweeps the scaling dimension directly; see
-// examples/contention for the saturation curve.
+// examples/contention for the saturation curve and examples/nvme for
+// channel-count scaling on the multi-queue device.
 //
 // # Requester identity and fairness
 //

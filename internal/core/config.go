@@ -22,8 +22,12 @@ type StackConfig struct {
 	// Ext3Mode selects the journaling mode when FS == "ext3".
 	Ext3Mode ext3sim.Mode
 	// Device selects the device model: "hdd" (default), "ssd",
-	// "ramdisk".
+	// "ramdisk", "nvme".
 	Device string
+	// NVMeChannels overrides the NVMe device's channel count (device
+	// service width) when Device == "nvme"; 0 keeps the model default
+	// (4). The device services up to this many requests concurrently.
+	NVMeChannels int
 	// DiskBytes sizes the device (default 64 GB — large enough for
 	// the 25 GB file of Figure 3(c)).
 	DiskBytes int64
@@ -118,6 +122,13 @@ func (c StackConfig) Build(rng *sim.RNG) (*vfs.Mount, error) {
 		dev = device.NewSSD(cfg, rng.Split())
 	case "ramdisk":
 		dev = device.NewRAMDisk(diskBytes)
+	case "nvme":
+		cfg := device.DefaultNVMe()
+		cfg.CapacityBytes = diskBytes
+		if c.NVMeChannels > 0 {
+			cfg.Channels = c.NVMeChannels
+		}
+		dev = device.NewNVMe(cfg, rng.Split())
 	default:
 		return nil, fmt.Errorf("core: unknown device %q", c.Device)
 	}
@@ -192,6 +203,13 @@ func (c StackConfig) String() string {
 	dev := c.Device
 	if dev == "" {
 		dev = "hdd"
+	}
+	if dev == "nvme" {
+		ch := c.NVMeChannels
+		if ch <= 0 {
+			ch = device.DefaultNVMe().Channels
+		}
+		dev = fmt.Sprintf("nvme[%dch]", ch)
 	}
 	fsName := c.FS
 	if fsName == "" {

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// nvmeStack is the multi-queue stack under test: the small testbed on
+// an NVMe device with the given channel count.
+func nvmeStack(channels int) StackConfig {
+	stack := smallStack()
+	stack.Device = "nvme"
+	stack.NVMeChannels = channels
+	return stack
+}
+
+// nvmeExperiment mirrors fileServerExperiment for the NVMe leg of the
+// determinism matrix. Kept deliberately short: the NVMe device is
+// ~100x faster than the disk, so the same virtual duration simulates
+// far more operations (and the CI box has 1 CPU).
+func nvmeExperiment(parallelism, channels int) *Experiment {
+	stack := nvmeStack(channels)
+	stack.Scheduler = "ncq"
+	return &Experiment{
+		Name:           fmt.Sprintf("fileserver-nvme%dch", channels),
+		Stack:          stack,
+		Workload:       workload.FileServer(100, 32<<10, 4),
+		Runs:           2,
+		Duration:       1500 * sim.Millisecond,
+		MeasureWindow:  sim.Second,
+		SeriesInterval: sim.Second,
+		Seed:           99,
+		Parallelism:    parallelism,
+	}
+}
+
+// TestNVMeDeterminism extends the determinism matrix with the
+// multi-queue leg: with K requests in flight and completions
+// interleaving across channels, a FileServer run must stay
+// bit-identical across host Parallelism 1/4 at channel counts 1/4.
+func TestNVMeDeterminism(t *testing.T) {
+	for _, channels := range []int{1, 4} {
+		want := ""
+		for _, p := range []int{1, 4} {
+			res, err := nvmeExperiment(p, channels).Run()
+			if err != nil {
+				t.Fatalf("channels=%d parallelism=%d: %v", channels, p, err)
+			}
+			got := resultFingerprint(res)
+			if want == "" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("channels=%d: parallelism %d result differs from parallelism 1", channels, p)
+			}
+		}
+	}
+}
+
+// TestNVMeChannelScaling is the tentpole acceptance experiment: on
+// disk-bound scattered reads with more threads than channels,
+// throughput must scale with the channel count — the device-level
+// concurrency a single-service model cannot show — while the HDD,
+// serviced one request at a time, gains nothing from the same knob.
+func TestNVMeChannelScaling(t *testing.T) {
+	run := func(stack StackConfig) float64 {
+		stack.Scheduler = "fcfs" // isolate service width from reordering
+		stack.OSReserveJitter = 0
+		exp := &Experiment{
+			Name:  "nvme-scaling",
+			Stack: stack,
+			// 1 GB file ≫ the ~51 MB cache: nearly every read reaches
+			// the device.
+			Workload:      workload.RandomRead(1<<30, 2<<10, 16),
+			Runs:          1,
+			Duration:      3 * sim.Second,
+			MeasureWindow: 2 * sim.Second,
+			ColdCache:     true,
+			Seed:          5,
+			Kinds:         []workload.OpKind{workload.OpReadRand},
+		}
+		res, err := exp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput.Mean
+	}
+	tp1 := run(nvmeStack(1))
+	tp4 := run(nvmeStack(4))
+	if tp4 < 2.2*tp1 {
+		t.Errorf("4 channels did %.0f ops/s vs %.0f for 1: want ≥2.2x scaling", tp4, tp1)
+	}
+	// NVMeChannels is an NVMe knob: the single-service disk ignores it.
+	hdd := smallStack()
+	hdd.NVMeChannels = 1
+	hdd1 := run(hdd)
+	hdd.NVMeChannels = 4
+	hdd4 := run(hdd)
+	if hdd1 != hdd4 {
+		t.Errorf("HDD throughput changed with NVMeChannels: %.2f vs %.2f", hdd1, hdd4)
+	}
+}

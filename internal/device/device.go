@@ -132,27 +132,27 @@ func validate(req Request, sectors int64) error {
 // SubmitBatch submits a set of requests as one elevator pass: requests
 // are serviced in ascending LBA order (C-LOOK), which is how the
 // write-back flusher issues dirty pages. It returns the completion
-// time of the last request. The requests slice is reordered in place.
+// time of the whole batch — the latest completion, not the last
+// submission's, because a multi-channel device (NVMe) finishes
+// requests out of submission order. The requests slice is reordered
+// in place.
 func SubmitBatch(d Device, at sim.Time, reqs []Request) (done sim.Time, err error) {
 	sort.Slice(reqs, func(i, j int) bool { return reqs[i].LBA < reqs[j].LBA })
-	done = at
-	for _, r := range reqs {
-		done, err = d.Submit(at, r)
-		if err != nil {
-			return done, err
-		}
-	}
-	return done, nil
+	return SubmitBatchFCFS(d, at, reqs)
 }
 
 // SubmitBatchFCFS submits the requests in the order given, for
-// comparison against the elevator in ablation benchmarks.
+// comparison against the elevator in ablation benchmarks. Like
+// SubmitBatch, it returns the latest completion in the batch.
 func SubmitBatchFCFS(d Device, at sim.Time, reqs []Request) (done sim.Time, err error) {
 	done = at
 	for _, r := range reqs {
-		done, err = d.Submit(at, r)
-		if err != nil {
-			return done, err
+		rd, rerr := d.Submit(at, r)
+		if rd > done {
+			done = rd
+		}
+		if rerr != nil {
+			return done, rerr
 		}
 	}
 	return done, nil

@@ -47,6 +47,16 @@ func (f *Faulty) Name() string { return f.Inner.Name() + "+faults" }
 // Sectors implements Device.
 func (f *Faulty) Sectors() int64 { return f.Inner.Sectors() }
 
+// ServiceWidth implements MultiQueue by forwarding the inner device's
+// width, so fault injection does not silently serialize a
+// multi-channel device.
+func (f *Faulty) ServiceWidth() int {
+	if mq, ok := f.Inner.(MultiQueue); ok {
+		return mq.ServiceWidth()
+	}
+	return 1
+}
+
 // Stats implements Device. Error counts accumulate on the wrapper;
 // successful traffic counts on the inner device.
 func (f *Faulty) Stats() Stats {

@@ -1,6 +1,8 @@
 package device
 
 import (
+	"sort"
+
 	"repro/internal/sim"
 )
 
@@ -8,17 +10,33 @@ import (
 // leaves QueueDepth unset — 32, on the scale of SATA NCQ's 31 tags.
 const DefaultQueueDepth = 32
 
+// MultiQueue is implemented by devices that service up to K requests
+// concurrently (NVMe-style hardware queues). The Queue keeps
+// dispatching while fewer than ServiceWidth requests are in flight;
+// devices without the method — or reporting a width below 1 — are
+// serviced one request at a time, which preserves the single-service
+// behavior of the mechanical models bit for bit.
+type MultiQueue interface {
+	// ServiceWidth reports how many requests the device can service
+	// concurrently.
+	ServiceWidth() int
+}
+
 // Queue is the event-driven request queue in front of a Device: the
 // block layer of the simulated stack. Submissions enqueue; a pluggable
 // Scheduler picks the service order from a bounded reorder window of
 // Depth requests (overflow waits FIFO in an admission backlog, as the
-// OS queue above a device's tagged queue does); the device services
-// one request at a time and completion fires as an event on the loop.
+// OS queue above a device's tagged queue does); the device services up
+// to its service width (MultiQueue; 1 for the single-service models)
+// concurrently and each completion fires as an event on the loop,
+// freeing a service slot for the scheduler's next pick.
 //
 // Queueing delay, scheduler choice, and window depth therefore show up
 // in operation latency exactly as they do on real hardware: a request
-// submitted while the device is deep in backlog completes late, and a
-// reordering scheduler at depth 32 beats depth 1 on scattered load.
+// submitted while the device is deep in backlog completes late, a
+// reordering scheduler at depth 32 beats depth 1 on scattered load,
+// and a multi-channel device drains a burst K-wide while a disk chews
+// through it serially.
 //
 // Like everything under the event kernel, Queue is not locked: the
 // kernel's one-baton discipline serializes all accesses (DESIGN.md
@@ -28,6 +46,7 @@ type Queue struct {
 	loop  *sim.EventLoop
 	sched Scheduler
 	depth int
+	width int // service bound: max requests in flight at the device
 
 	// backlog holds requests admitted beyond the window, FIFO.
 	// backlogHead indexes the front: pops advance it in O(1) and the
@@ -36,21 +55,45 @@ type Queue struct {
 	// device and a copy-per-pop would go quadratic.
 	backlog     []*IORequest
 	backlogHead int
-	busy        bool
+	inflight    int
 	head        int64 // LBA just past the last dispatched transfer
 	seq         uint64
 	stats       QueueStats
 }
 
 // QueueStats counts queue-level events. Wait sums time from submission
-// to dispatch (queueing delay only, not service); MaxQueued is the
-// high-water mark of window + backlog occupancy.
+// to dispatch (queueing delay only, not service) over successfully
+// dispatched requests; requests the device rejects at dispatch count
+// only under Errors — they consume no service time, so folding them
+// into Completed or Wait would skew MeanWait toward zero. MaxQueued is
+// the high-water mark of window + backlog occupancy: requests awaiting
+// dispatch, excluding the up-to-width in flight at the device.
 type QueueStats struct {
 	Submitted int64
 	Completed int64
 	Errors    int64
 	MaxQueued int
 	Wait      sim.Time
+	// PerOwner attributes queueing delay and completions to requester
+	// identities (Request.Owner), separating scheduler-induced waiting
+	// from device service time per thread. nil until the first
+	// dispatch.
+	PerOwner map[int]OwnerQueueStats
+}
+
+// OwnerQueueStats is one requester's share of the queue counters.
+type OwnerQueueStats struct {
+	Completed int64
+	Wait      sim.Time
+}
+
+// MeanWait reports the owner's average queueing delay per completed
+// request.
+func (s OwnerQueueStats) MeanWait() sim.Time {
+	if s.Completed == 0 {
+		return 0
+	}
+	return s.Wait / sim.Time(s.Completed)
 }
 
 // MeanWait reports the average queueing delay per completed request.
@@ -61,13 +104,43 @@ func (s QueueStats) MeanWait() sim.Time {
 	return s.Wait / sim.Time(s.Completed)
 }
 
+// Owners returns the requester identities present in PerOwner in
+// ascending order, so reporting surfaces iterate deterministically.
+func (s QueueStats) Owners() []int {
+	out := make([]int, 0, len(s.PerOwner))
+	for o := range s.PerOwner {
+		out = append(out, o)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ownerAdd accumulates wait and completions for one requester.
+func (s *QueueStats) ownerAdd(owner int, wait sim.Time, completed int64) {
+	if s.PerOwner == nil {
+		s.PerOwner = make(map[int]OwnerQueueStats)
+	}
+	o := s.PerOwner[owner]
+	o.Wait += wait
+	o.Completed += completed
+	s.PerOwner[owner] = o
+}
+
 // NewQueue builds a queue of the given depth (<= 0 selects
-// DefaultQueueDepth) draining into dev under loop.
+// DefaultQueueDepth) draining into dev under loop. The service bound
+// comes from the device: MultiQueue implementations service up to
+// ServiceWidth requests concurrently, everything else one at a time.
 func NewQueue(dev Device, sched Scheduler, depth int, loop *sim.EventLoop) *Queue {
 	if depth <= 0 {
 		depth = DefaultQueueDepth
 	}
-	return &Queue{dev: dev, loop: loop, sched: sched, depth: depth}
+	width := 1
+	if mq, ok := dev.(MultiQueue); ok {
+		if w := mq.ServiceWidth(); w > 1 {
+			width = w
+		}
+	}
+	return &Queue{dev: dev, loop: loop, sched: sched, depth: depth, width: width}
 }
 
 // Scheduler exposes the active policy.
@@ -76,17 +149,36 @@ func (q *Queue) Scheduler() Scheduler { return q.sched }
 // Depth reports the reorder-window bound.
 func (q *Queue) Depth() int { return q.depth }
 
+// Width reports the service bound: how many requests may be in flight
+// at the device concurrently.
+func (q *Queue) Width() int { return q.width }
+
+// InFlight reports requests currently in service at the device.
+func (q *Queue) InFlight() int { return q.inflight }
+
 // Stats returns a snapshot of the counters.
-func (q *Queue) Stats() QueueStats { return q.stats }
+func (q *Queue) Stats() QueueStats {
+	s := q.stats
+	if s.PerOwner != nil {
+		c := make(map[int]OwnerQueueStats, len(s.PerOwner))
+		for k, v := range s.PerOwner {
+			c[k] = v
+		}
+		s.PerOwner = c
+	}
+	return s
+}
+
+// queued reports requests awaiting dispatch: window plus backlog,
+// excluding in-flight.
+func (q *Queue) queued() int {
+	return q.sched.Len() + len(q.backlog) - q.backlogHead
+}
 
 // Pending reports requests submitted but not yet completed, including
-// the one in service.
+// those in service.
 func (q *Queue) Pending() int {
-	n := q.sched.Len() + len(q.backlog) - q.backlogHead
-	if q.busy {
-		n++
-	}
-	return n
+	return q.queued() + q.inflight
 }
 
 // Submit enqueues one request at virtual time at (clamped to the
@@ -105,37 +197,55 @@ func (q *Queue) Submit(at sim.Time, req Request, done func(sim.Time, error)) {
 	} else {
 		q.backlog = append(q.backlog, r)
 	}
-	if n := q.Pending(); n > q.stats.MaxQueued {
+	q.dispatch(at)
+	// Sample the high-water mark after dispatch, so a request that
+	// lands straight on a free service slot never counts as queued;
+	// occupancy only grows at submission, so sampling here sees every
+	// maximum.
+	if n := q.queued(); n > q.stats.MaxQueued {
 		q.stats.MaxQueued = n
-	}
-	if !q.busy {
-		q.dispatch(at)
 	}
 }
 
-// dispatch starts service of the scheduler's next pick at time now.
-// Requests that fail validation complete with the error at the same
-// instant and consume no device time. Their completion is scheduled,
-// not invoked inline: dispatch can run in submitter context (inside
-// Submit), and the Done contract promises loop context — a callback
-// that unparks the submitting process would otherwise deadlock.
+// Kick schedules a dispatch pass at virtual time at — the timer-driven
+// re-dispatch hook for policies that deliberately leave the device
+// underutilized (CFQ-style anticipatory idling): a scheduler may
+// return nil from Pop while holding requests, then have the queue
+// re-ask at a chosen instant. A kick that finds every service slot
+// busy or Pop still unwilling is a harmless no-op.
+func (q *Queue) Kick(at sim.Time) {
+	if now := q.loop.Now(); at < now {
+		at = now
+	}
+	q.loop.Schedule(at, func() { q.dispatch(q.loop.Now()) })
+}
+
+// dispatch starts service of the scheduler's next picks at time now,
+// continuing while the device has a free service slot. Requests that
+// fail validation complete with the error at the same instant and
+// consume no device time or service slot. Their completion is
+// scheduled, not invoked inline: dispatch can run in submitter context
+// (inside Submit), and the Done contract promises loop context — a
+// callback that unparks the submitting process would otherwise
+// deadlock.
 func (q *Queue) dispatch(now sim.Time) {
-	for !q.busy {
+	for q.inflight < q.width {
 		r := q.sched.Pop(now, q.head)
 		if r == nil {
 			return
 		}
 		q.admit()
-		q.stats.Wait += now - r.At
 		done, err := q.dev.Submit(now, r.Req)
 		if err != nil {
 			q.stats.Errors++
 			q.loop.Schedule(now, func() { q.finish(r, now, err) })
 			continue
 		}
-		q.busy = true
+		q.stats.Wait += now - r.At
+		q.stats.ownerAdd(r.Req.Owner, now-r.At, 0)
+		q.inflight++
 		q.head = r.Req.LBA + r.Req.Sectors
-		q.loop.Schedule(done, func() { q.complete(r, err) })
+		q.loop.Schedule(done, func() { q.complete(r, nil) })
 	}
 }
 
@@ -163,19 +273,25 @@ func (q *Queue) admit() {
 	q.sched.Push(r)
 }
 
-// complete ends the in-service request, starts the next one, and only
-// then runs the completion callback — so a woken submitter observes a
-// queue that has already moved on, as a real interrupt handler would.
+// complete ends one in-service request, refills the freed service
+// slot, and only then runs the completion callback — so a woken
+// submitter observes a queue that has already moved on, as a real
+// interrupt handler would.
 func (q *Queue) complete(r *IORequest, err error) {
 	now := q.loop.Now()
-	q.busy = false
+	q.inflight--
 	q.dispatch(now)
 	q.finish(r, now, err)
 }
 
-// finish runs the completion callback.
+// finish runs the completion callback. Only successful requests count
+// as Completed; device-rejected ones were already counted under
+// Errors at dispatch.
 func (q *Queue) finish(r *IORequest, at sim.Time, err error) {
-	q.stats.Completed++
+	if err == nil {
+		q.stats.Completed++
+		q.stats.ownerAdd(r.Req.Owner, 0, 1)
+	}
 	if r.Done != nil {
 		r.Done(at, err)
 	}

@@ -172,8 +172,10 @@ func TestQueueBacklogAdmission(t *testing.T) {
 			n++
 		})
 	}
-	if got := q.Stats().MaxQueued; got != 20 {
-		t.Errorf("MaxQueued = %d, want 20", got)
+	// 20 submitted, one dispatched immediately: the high-water mark
+	// counts window + backlog occupancy, excluding the one in flight.
+	if got := q.Stats().MaxQueued; got != 19 {
+		t.Errorf("MaxQueued = %d, want 19", got)
 	}
 	loop.Run()
 	if n != 20 {
@@ -235,6 +237,144 @@ func TestQueueErrorCompletes(t *testing.T) {
 	}
 	if q.Stats().Errors != 1 {
 		t.Errorf("queue errors = %d, want 1", q.Stats().Errors)
+	}
+}
+
+// TestMaxQueuedExcludesInFlight pins the MaxQueued semantics against a
+// multi-channel device, where the distinction matters most: with K
+// requests in service, the high-water mark reflects only requests
+// still awaiting dispatch.
+func TestMaxQueuedExcludesInFlight(t *testing.T) {
+	q, loop := mkNVMeQueue(t, 4, 32, SchedFCFS)
+	for i := 0; i < 4; i++ {
+		q.Submit(0, Request{Op: Read, LBA: int64(i) * 4096, Sectors: 8}, nil)
+	}
+	// Four submissions onto four idle channels: nothing ever waited
+	// for dispatch.
+	if got := q.Stats().MaxQueued; got != 0 {
+		t.Errorf("MaxQueued = %d after instant dispatches, want 0", got)
+	}
+	for i := 4; i < 10; i++ {
+		q.Submit(0, Request{Op: Read, LBA: int64(i) * 4096, Sectors: 8}, nil)
+	}
+	// 10 submitted, 4 dispatched straight onto the channels: 6 wait.
+	if got := q.Stats().MaxQueued; got != 6 {
+		t.Errorf("MaxQueued = %d, want 6 (10 submitted - 4 in flight)", got)
+	}
+	if got := q.Pending(); got != 10 {
+		t.Errorf("Pending = %d, want 10 (queued + in flight)", got)
+	}
+	loop.Run()
+}
+
+// TestQueueErrorsNotCompleted is the accounting regression: a request
+// the device rejects at dispatch consumes no service time, so it must
+// count only under Errors — folding it into Completed (and its
+// queueing delay into Wait) skewed MeanWait toward zero for every
+// workload on a faulty device.
+func TestQueueErrorsNotCompleted(t *testing.T) {
+	sched, _ := NewScheduler(SchedFCFS)
+	loop := sim.NewEventLoop(0)
+	faulty := NewFaulty(NewHDD(DefaultHDD(), sim.NewRNG(1)),
+		FaultPolicy{BadRanges: []SectorRange{{First: 1 << 20, Count: 1 << 20}}}, sim.NewRNG(2))
+	q := NewQueue(faulty, sched, 8, loop)
+
+	var doneA sim.Time
+	var errB error
+	// A dispatches immediately and occupies the device; B (bad range)
+	// and C queue behind it, both accruing queueing delay until A
+	// completes.
+	q.Submit(0, Request{Op: Read, LBA: 0, Sectors: 8}, func(d sim.Time, err error) { doneA = d })
+	q.Submit(0, Request{Op: Read, LBA: 1 << 20, Sectors: 8}, func(d sim.Time, err error) { errB = err })
+	q.Submit(0, Request{Op: Read, LBA: 4096, Sectors: 8}, nil)
+	loop.Run()
+
+	if !errors.Is(errB, ErrIO) {
+		t.Fatalf("bad-range request completed with %v, want ErrIO", errB)
+	}
+	s := q.Stats()
+	if s.Submitted != 3 || s.Completed != 2 || s.Errors != 1 {
+		t.Errorf("stats = submitted %d completed %d errors %d, want 3/2/1",
+			s.Submitted, s.Completed, s.Errors)
+	}
+	// Only C waited (for A's full service); B's dispatch-time delay
+	// must not be in Wait even though it queued just as long.
+	if s.Wait != doneA {
+		t.Errorf("Wait = %v, want exactly C's delay %v (errored B excluded)", s.Wait, doneA)
+	}
+	if got := s.MeanWait(); got != doneA/2 {
+		t.Errorf("MeanWait = %v, want %v over the 2 completed requests", got, doneA/2)
+	}
+}
+
+// TestQueuePerOwnerWait pins the per-owner attribution arithmetic:
+// owner waits sum to the aggregate and completions split per
+// requester.
+func TestQueuePerOwnerWait(t *testing.T) {
+	q, loop := mkQueue(t, SchedFCFS, 8)
+	for i := 0; i < 6; i++ {
+		q.Submit(0, Request{Op: Read, LBA: int64(i) * 100000, Sectors: 8, Owner: 1 + i%2}, nil)
+	}
+	loop.Run()
+	s := q.Stats()
+	if got := fmt.Sprint(s.Owners()); got != "[1 2]" {
+		t.Fatalf("Owners() = %v, want [1 2]", got)
+	}
+	var wait sim.Time
+	var completed int64
+	for _, o := range s.Owners() {
+		wait += s.PerOwner[o].Wait
+		completed += s.PerOwner[o].Completed
+	}
+	if wait != s.Wait || completed != s.Completed {
+		t.Errorf("per-owner totals wait=%v completed=%d, want aggregate wait=%v completed=%d",
+			wait, completed, s.Wait, s.Completed)
+	}
+	if s.PerOwner[1].Completed != 3 || s.PerOwner[2].Completed != 3 {
+		t.Errorf("per-owner completions = %d/%d, want 3/3",
+			s.PerOwner[1].Completed, s.PerOwner[2].Completed)
+	}
+	if s.PerOwner[2].MeanWait() <= s.PerOwner[1].MeanWait() {
+		t.Errorf("FCFS interleave: owner 2 (always behind owner 1) should wait more: %v vs %v",
+			s.PerOwner[2].MeanWait(), s.PerOwner[1].MeanWait())
+	}
+}
+
+// TestQueuePerOwnerWaitSpreadCFQvsNCQ separates scheduler-induced
+// waiting from service time, per owner: on a two-owner near/far stripe
+// split, NCQ's seek greed makes the far owner absorb nearly all the
+// queueing delay, while CFQ's time slices split it far more evenly.
+// This is the queue-level view of the fairness figure.
+func TestQueuePerOwnerWaitSpreadCFQvsNCQ(t *testing.T) {
+	spread := func(schedName string) float64 {
+		q, loop := mkQueue(t, schedName, 32)
+		// Interleaved arrivals: owner 1 reads near the head, owner 2
+		// reads a far stripe. Both submit 16 requests at t=0.
+		for i := 0; i < 16; i++ {
+			q.Submit(0, Request{Op: Read, LBA: int64(i) * 64, Sectors: 8, Owner: 1}, nil)
+			q.Submit(0, Request{Op: Read, LBA: 300_000_000 + int64(i)*64, Sectors: 8, Owner: 2}, nil)
+		}
+		loop.Run()
+		s := q.Stats()
+		if s.Completed != 32 {
+			t.Fatalf("%s: completed %d of 32", schedName, s.Completed)
+		}
+		near, far := s.PerOwner[1].MeanWait(), s.PerOwner[2].MeanWait()
+		if near == 0 || far == 0 {
+			t.Fatalf("%s: owner mean wait missing: near=%v far=%v", schedName, near, far)
+		}
+		if far > near {
+			return float64(far) / float64(near)
+		}
+		return float64(near) / float64(far)
+	}
+	ncq := spread(SchedNCQ)
+	cfq := spread(SchedCFQ)
+	if ncq <= cfq {
+		t.Errorf("per-owner wait spread: ncq %.2fx not above cfq %.2fx", ncq, cfq)
+	}
+	if ncq < 2 {
+		t.Errorf("ncq far/near mean-wait ratio %.2fx: seek greed should starve the far stripe", ncq)
 	}
 }
 

@@ -106,10 +106,23 @@ func (h *Histogram) Percentages() [NumBuckets]float64 {
 	return out
 }
 
+// StrictPercentiles, when set, makes Percentile panic on a p in the
+// open interval (0, 1): the API takes percents (0–100), and a caller
+// passing a fraction — h.Percentile(0.99) for "p99" — would otherwise
+// silently get roughly the 1st percentile. Tests enable it; production
+// leaves it off because sub-1 percentiles (p0.5) are legitimate, if
+// rare.
+var StrictPercentiles bool
+
 // Percentile returns an upper bound for the p-th percentile latency
 // (0 < p <= 100) using bucket upper edges — conservative, as a
-// latency reporter should be.
+// latency reporter should be. p is a percent, not a fraction:
+// h.Percentile(99) is p99; h.Percentile(0.99) is just below p1 (see
+// StrictPercentiles).
 func (h *Histogram) Percentile(p float64) int64 {
+	if StrictPercentiles && p > 0 && p < 1 {
+		panic(fmt.Sprintf("metrics: Percentile(%v) — p is a percent (0-100), not a fraction; did you mean %v?", p, p*100))
+	}
 	if h.count == 0 || p <= 0 {
 		return 0
 	}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"os"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -84,6 +85,43 @@ func TestHistogramPercentile(t *testing.T) {
 	if (&Histogram{}).Percentile(50) != 0 {
 		t.Error("empty percentile != 0")
 	}
+}
+
+// TestMain runs the whole package strict: any test that slips a
+// fraction into Percentile panics instead of silently reading ~p1.
+func TestMain(m *testing.M) {
+	StrictPercentiles = true
+	os.Exit(m.Run())
+}
+
+// TestPercentileFractionFootgun pins the fraction-vs-percent API
+// hazard: Percentile takes 0–100, so a caller writing the fraction
+// 0.99 for "p99" silently gets roughly p1 — and the StrictPercentiles
+// debug guard (armed suite-wide by TestMain) turns exactly that
+// mistake into a panic.
+func TestPercentileFractionFootgun(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(sim.Time(i) * sim.Millisecond)
+	}
+	// The footgun with the guard off: the fraction lands at or below
+	// p1, nowhere near p99.
+	StrictPercentiles = false
+	got, p1, p99 := h.Percentile(0.99), h.Percentile(1), h.Percentile(99)
+	StrictPercentiles = true
+	if got > p1 || got >= p99 {
+		t.Errorf("Percentile(0.99) = %d, want ≤ p1 (%d) and far below p99 (%d)", got, p1, p99)
+	}
+	// Whole percents (and the edge values) still work under the guard.
+	if h.Percentile(99) == 0 || h.Percentile(1) == 0 || h.Percentile(0) != 0 {
+		t.Error("strict mode broke legitimate percent arguments")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("StrictPercentiles did not panic on Percentile(0.99)")
+		}
+	}()
+	h.Percentile(0.99)
 }
 
 func TestHistogramMerge(t *testing.T) {

@@ -13,6 +13,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -86,9 +87,22 @@ func Max(xs []float64) float64 {
 	return m
 }
 
+// StrictPercentiles, when set, makes Percentile panic on a p in the
+// open interval (0, 1): the API takes percents (0–100), and a caller
+// passing a fraction — Percentile(xs, 0.99) for "p99" — would
+// otherwise silently get roughly the 1st percentile. Tests enable it;
+// production leaves it off because sub-1 percentiles (p0.5) are
+// legitimate, if rare.
+var StrictPercentiles bool
+
 // Percentile returns the p-th percentile (0<=p<=100) using linear
-// interpolation between order statistics.
+// interpolation between order statistics. p is a percent, not a
+// fraction: Percentile(xs, 99) is p99; Percentile(xs, 0.99) is just
+// below p1 (see StrictPercentiles).
 func Percentile(xs []float64, p float64) float64 {
+	if StrictPercentiles && p > 0 && p < 1 {
+		panic(fmt.Sprintf("stats: Percentile(%v) — p is a percent (0-100), not a fraction; did you mean %v?", p, p*100))
+	}
 	n := len(xs)
 	if n == 0 {
 		return 0

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"os"
 	"testing"
 	"testing/quick"
 
@@ -64,6 +65,41 @@ func TestPercentileInterpolation(t *testing.T) {
 	}
 }
 
+// TestMain runs the whole package strict: any test that slips a
+// fraction into Percentile panics instead of silently reading ~p1.
+func TestMain(m *testing.M) {
+	StrictPercentiles = true
+	os.Exit(m.Run())
+}
+
+// TestPercentileFractionFootgun pins the fraction-vs-percent API
+// hazard: Percentile takes 0–100, so passing 0.99 for "p99" silently
+// returns a value near the sample minimum — and the StrictPercentiles
+// debug guard (armed suite-wide by TestMain) turns exactly that
+// mistake into a panic.
+func TestPercentileFractionFootgun(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	// The footgun with the guard off: near the minimum, nowhere near 99.
+	StrictPercentiles = false
+	got, p2 := Percentile(xs, 0.99), Percentile(xs, 2)
+	StrictPercentiles = true
+	if got >= p2 {
+		t.Errorf("Percentile(0.99) = %v, want below p2 %v — the silent footgun", got, p2)
+	}
+	if Percentile(xs, 99) < 99 || Percentile(xs, 1) == 0 || Percentile(xs, 0) != 1 {
+		t.Error("strict mode broke legitimate percent arguments")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("StrictPercentiles did not panic on Percentile(0.99)")
+		}
+	}()
+	Percentile(xs, 0.99)
+}
+
 func TestPercentileProperty(t *testing.T) {
 	f := func(raw []float64, pRaw uint8) bool {
 		if len(raw) == 0 {
@@ -75,6 +111,11 @@ func TestPercentileProperty(t *testing.T) {
 			}
 		}
 		p := float64(pRaw) / 255 * 100
+		if p > 0 && p < 1 {
+			// The suite runs with StrictPercentiles armed (TestMain),
+			// which rejects sub-1 values as probable fractions.
+			return true
+		}
 		v := Percentile(raw, p)
 		return v >= Min(raw) && v <= Max(raw)
 	}

@@ -1,0 +1,19 @@
+package fsbench
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// TestMain runs the top-level suite — godoc examples and the
+// per-figure benchmarks — with the percentile fraction guards armed:
+// any Percentile call site that slips a fraction (0.99 for "p99")
+// panics under test instead of silently reporting ~p1.
+func TestMain(m *testing.M) {
+	metrics.StrictPercentiles = true
+	stats.StrictPercentiles = true
+	os.Exit(m.Run())
+}
