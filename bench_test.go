@@ -456,6 +456,38 @@ func BenchmarkContention(b *testing.B) {
 			})
 		}
 	}
+	// Open-loop leg: Poisson arrivals just past the disk's closed-loop
+	// saturation (~150 ops/s on this scaled stack), short virtual
+	// duration like the NVMe legs, so the bench artifacts track the
+	// generator/worker-pool dispatch cost and the saturation tail.
+	b.Run("dev=hdd/arrival=poisson", func(b *testing.B) {
+		var tp, p99, done float64
+		for i := 0; i < b.N; i++ {
+			stack := benchStack()
+			stack.OSReserveJitter = 0
+			stack.Scheduler = "ncq"
+			stack.QueueDepth = 32
+			exp := &Experiment{
+				Name:     "contention-openloop",
+				Stack:    stack,
+				Workload: OpenLoopRead(1<<30, 2<<10, 16, 180),
+				Runs:     1, Duration: 5 * Second, MeasureWindow: 2 * Second,
+				ColdCache: true,
+				Seed:      uint64(i) + 31,
+				Kinds:     []OpKind{workload.OpReadRand},
+			}
+			res, err := exp.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			tp = res.Throughput.Mean
+			p99 = float64(res.Hist.Percentile(99)) / 1e6
+			done = res.Load.CompletionRatio()
+		}
+		b.ReportMetric(tp, "ops/s")
+		b.ReportMetric(p99, "p99-ms")
+		b.ReportMetric(done*100, "completed-%")
+	})
 }
 
 // BenchmarkSimulatorThroughput measures the simulator itself: how

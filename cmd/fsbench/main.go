@@ -6,6 +6,7 @@
 // Usage:
 //
 //	fsbench -workload randomread -fs ext2 -runs 10 -duration 60s
+//	fsbench -workload randomread -arrival poisson -rate 150
 //	fsbench -wdl my-workload.wdl -fs xfs -cold
 //	fsbench -list
 package main
@@ -37,6 +38,9 @@ func main() {
 		sched        = flag.String("sched", "", "I/O scheduler: fcfs, elevator, ncq, cfq (default elevator)")
 		readahead    = flag.String("readahead", "", "readahead override: none, fixed, adaptive (default: FS hint)")
 		l2MB         = flag.Int64("l2", 0, "flash second-tier cache in MB (0 = none)")
+		arrival      = flag.String("arrival", "", "override every thread class's arrival process: closed, poisson, uniform, burst (default: the workload's own)")
+		rate         = flag.Float64("rate", 0, "offered ops/sec per thread class for open-loop arrivals (with -arrival)")
+		burst        = flag.Int("burst", 8, "op instances per arrival epoch (with -arrival burst)")
 		runs         = flag.Int("runs", 5, "independent runs")
 		duration     = flag.String("duration", "60s", "virtual run length")
 		window       = flag.String("window", "30s", "measurement window at the end of each run")
@@ -60,6 +64,18 @@ func main() {
 	w, err := loadWorkload(*wdlPath, *workloadName)
 	if err != nil {
 		fatal(err)
+	}
+	if *arrival != "" {
+		kind, err := workload.ParseArrivalKind(*arrival)
+		if err != nil {
+			fatal(fmt.Errorf("bad -arrival: %w", err))
+		}
+		for i := range w.Threads {
+			w.Threads[i].Arrival = workload.Arrival{Kind: kind, Rate: *rate, Burst: *burst}
+		}
+		if err := w.Validate(); err != nil {
+			fatal(fmt.Errorf("-arrival override: %w", err))
+		}
 	}
 	dur, err := workload.ParseDuration(*duration)
 	if err != nil {
@@ -171,6 +187,13 @@ func main() {
 					parts, sp.MinOps, sp.MaxOps)
 			}
 		}
+	}
+	if res.Load.Offered > 0 {
+		// Open-loop disclosure: how much of the offered load the stack
+		// absorbed, and how deep the arrival backlog got.
+		fmt.Printf("open loop:  offered=%d completed=%d (%.1f%%) backlog peak=%d\n",
+			res.Load.Offered, res.Load.Completed,
+			res.Load.CompletionRatio()*100, res.Load.BacklogPeak)
 	}
 	fmt.Printf("verdict:    %s\n", res.Flags)
 	if res.Flags.Any() {

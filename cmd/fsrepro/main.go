@@ -25,7 +25,7 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	var figs multiFlag
-	flag.Var(&figs, "fig", "figure to regenerate: 1, 1zoom, 2, 3, 4, contention, fairness, qdsweep (repeatable)")
+	flag.Var(&figs, "fig", "figure to regenerate: 1, 1zoom, 2, 3, 4, contention, fairness, qdsweep, openloop (repeatable)")
 	var (
 		table    = flag.String("table", "", "table to regenerate: 1")
 		all      = flag.Bool("all", false, "regenerate everything")
@@ -48,7 +48,7 @@ func main() {
 	proto.Parallelism = *parallel
 
 	if *all {
-		figs = multiFlag{"1", "1zoom", "2", "3", "4", "contention", "fairness", "qdsweep"}
+		figs = multiFlag{"1", "1zoom", "2", "3", "4", "contention", "fairness", "qdsweep", "openloop"}
 		*table = "1"
 	}
 	if len(figs) == 0 && *table == "" {
@@ -74,6 +74,8 @@ func main() {
 			err = figureFairness(proto)
 		case "qdsweep":
 			err = figureQDSweep(proto)
+		case "openloop":
+			err = figureOpenLoop(proto)
 		default:
 			err = fmt.Errorf("unknown figure %q", f)
 		}

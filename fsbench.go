@@ -69,6 +69,22 @@
 // index of the service split; see examples/fairness for cfq vs ncq
 // on a mixed 34-thread workload.
 //
+// # Open- versus closed-loop load
+//
+// Thread classes default to the classic closed loop: each thread
+// issues its next operation when the previous one completes, so the
+// generator self-throttles under load and saturation never shows in
+// the latencies. ThreadSpec.Arrival selects an open-loop arrival
+// process instead (poisson/uniform/burst at a target rate): a
+// generator stamps arrival times and dispatches op instances to the
+// class's worker pool, latency is measured from arrival (queue
+// entry), and Result.Load reports offered versus completed operations
+// with the backlog high-water mark. ArrivalRateSweep sweeps offered
+// load directly; `fsrepro -fig openloop` contrasts the two loops at
+// matched throughput (closed-loop latency stays flat across offered
+// load, open-loop latency explodes past the saturation knee), and
+// examples/openloop is the scaled-down walkthrough. See DESIGN.md §7.
+//
 // # What lives where
 //
 //   - Experiments, sweeps, fragility analysis, comparisons: this
@@ -194,6 +210,17 @@ func ThreadCountSweep(stack StackConfig, mk func(threads int) *Workload,
 	return core.ThreadCountSweep(stack, mk, counts, runs, duration, window, seed)
 }
 
+// ArrivalRateSweep builds an offered-load sweep: the open-loop
+// workload mk(rate) at each arrival rate in ops/sec (nil mk selects
+// the Poisson random-read personality OpenLoopRead). Past device
+// capacity the completed rate pins, the backlog grows, and
+// arrival-to-completion latency explodes — the open-loop knee a
+// closed loop self-throttles away.
+func ArrivalRateSweep(stack StackConfig, mk func(rate float64) *Workload,
+	rates []float64, runs int, duration, window Time, seed uint64) *Sweep {
+	return core.ArrivalRateSweep(stack, mk, rates, runs, duration, window, seed)
+}
+
 // ClassifyWorkload reports which dimensions a workload exercises on a
 // stack with the given cache size.
 func ClassifyWorkload(w *Workload, cacheBytes int64) map[Dimension]Coverage {
@@ -212,6 +239,21 @@ type (
 	Flowop = workload.Flowop
 	// OpKind enumerates flowop operations.
 	OpKind = workload.OpKind
+	// Arrival selects a thread class's load-generation discipline:
+	// the default closed loop, or an open-loop arrival process
+	// (Poisson/uniform/burst at a target rate) whose arrivals are not
+	// gated by completions and whose latency is measured from arrival.
+	Arrival = workload.Arrival
+	// ArrivalKind enumerates arrival disciplines.
+	ArrivalKind = workload.ArrivalKind
+)
+
+// Arrival disciplines (see DESIGN.md §7).
+const (
+	ArrivalClosed  = workload.ArrivalClosed
+	ArrivalPoisson = workload.ArrivalPoisson
+	ArrivalUniform = workload.ArrivalUniform
+	ArrivalBurst   = workload.ArrivalBurst
 )
 
 // Stock personalities (see internal/workload for parameters).
@@ -220,6 +262,7 @@ var (
 	SequentialRead  = workload.SequentialRead
 	RandomWrite     = workload.RandomWrite
 	SequentialWrite = workload.SequentialWrite
+	OpenLoopRead    = workload.OpenLoopRead
 	CreateDelete    = workload.CreateDelete
 	WebServer       = workload.WebServer
 	FileServer      = workload.FileServer
@@ -249,6 +292,9 @@ type (
 	// PerOwner is per-thread op counts and latency histograms, keyed
 	// by the engine's stable thread OwnerIDs (the fairness view).
 	PerOwner = metrics.PerOwner
+	// LoadGauge is the open-loop offered-vs-completed gauge with the
+	// backlog high-water mark (Result.Load).
+	LoadGauge = metrics.LoadGauge
 	// Summary is the descriptive-statistics bundle (mean, σ, RSD,
 	// 95% CI).
 	Summary = stats.Summary

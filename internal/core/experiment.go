@@ -58,7 +58,10 @@ type RunMeasure struct {
 	// (owner = thread index), recorded inside the measurement window —
 	// the fairness view the aggregate Hist erases.
 	PerOwner *metrics.PerOwner
-	Errors   int64
+	// Load is the open-loop offered-vs-completed gauge (zero-valued
+	// for purely closed-loop workloads).
+	Load   metrics.LoadGauge
+	Errors int64
 }
 
 // Flags are the harness's refusals: conditions under which a single
@@ -113,6 +116,9 @@ type Result struct {
 	// threads do comparable work (uniform personalities); for mixed
 	// thread classes compute per-class indices from PerOwner instead.
 	Jain float64
+	// Load merges the per-run open-loop gauges: offered and completed
+	// counts add, the backlog peak is the worst run's.
+	Load metrics.LoadGauge
 	// Flags carries the harness's refusals.
 	Flags Flags
 }
@@ -154,6 +160,7 @@ func (e *Experiment) aggregate(perRun []RunMeasure) *Result {
 	for i := range perRun {
 		res.Hist.Merge(perRun[i].Hist)
 		res.PerOwner.Merge(perRun[i].PerOwner)
+		res.Load.Merge(perRun[i].Load)
 	}
 	res.Jain = metrics.JainIndexCounts(
 		res.PerOwner.OpsPadded(e.Workload.TotalThreads()))
@@ -242,6 +249,7 @@ func (e *Experiment) runOnce(seed uint64) (RunMeasure, error) {
 	m.Ops = countOpsSince(m.Series, e.Duration-window)
 	m.Throughput = float64(m.Ops) / window.Seconds()
 	m.HitRatio = mount.PC.L1.Stats().HitRatio()
+	m.Load = eng.Load()
 	m.Errors = eng.Counter().Errors
 	return m, nil
 }

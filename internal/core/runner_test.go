@@ -40,9 +40,10 @@ func histFingerprint(h *metrics.Histogram) string {
 func resultFingerprint(res *Result) string {
 	var b strings.Builder
 	for i, m := range res.PerRun {
-		fmt.Fprintf(&b, "run%d seed=%d ops=%d tp=%s cache=%d hit=%s errs=%d hist{%s}",
+		fmt.Fprintf(&b, "run%d seed=%d ops=%d tp=%s cache=%d hit=%s errs=%d load=%d/%d/%d hist{%s}",
 			i, m.Seed, m.Ops, bits(m.Throughput), m.CacheBytes, bits(m.HitRatio),
-			m.Errors, histFingerprint(m.Hist))
+			m.Errors, m.Load.Offered, m.Load.Completed, m.Load.BacklogPeak,
+			histFingerprint(m.Hist))
 		if m.Series != nil {
 			b.WriteString(" series")
 			for _, r := range m.Series.Rates() {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -127,6 +128,48 @@ func ThreadCountSweep(stack StackConfig, mk func(threads int) *workload.Workload
 			// Decorrelate runs across sweep points, as FileSizeSweep
 			// does: each point is a fresh set of machine states.
 			base.Seed += uint64(threads) * 7919
+			return base
+		},
+	}
+}
+
+// ArrivalRateSweep builds an offered-load sweep: the open-loop
+// workload produced by mk(rate) at each offered arrival rate
+// (ops/sec) on the given stack. Where ThreadCountSweep scales the
+// closed-loop population — and throughput saturates while latency
+// stays self-throttled — this sweep scales load the system cannot
+// push back on: past the device's capacity the completed rate pins at
+// capacity, the backlog grows, and arrival-to-completion latency
+// explodes. mk == nil selects the Poisson random-read personality
+// (OpenLoopRead: 16 workers over a 1 GB file, 2 KB reads).
+func ArrivalRateSweep(stack StackConfig, mk func(rate float64) *workload.Workload,
+	rates []float64, runs int, duration, window sim.Time, seed uint64) *Sweep {
+	if mk == nil {
+		mk = func(rate float64) *workload.Workload {
+			return workload.OpenLoopRead(1<<30, 2<<10, 16, rate)
+		}
+	}
+	values := append([]float64(nil), rates...)
+	return &Sweep{
+		Name: "arrivalrate",
+		Base: Experiment{
+			Stack:         stack,
+			Runs:          runs,
+			Duration:      duration,
+			MeasureWindow: window,
+			Seed:          seed,
+		},
+		Values: values,
+		Mutate: func(base Experiment, x float64) Experiment {
+			w := mk(x)
+			base.Name = fmt.Sprintf("%s-%gops", w.Name, x)
+			base.Workload = w
+			// Decorrelate runs across sweep points, as the other sweep
+			// constructors do: each point is a fresh set of machine
+			// states. Mix the full float bits — rates are fractional,
+			// and truncating would give 150.2 and 150.8 ops/s the same
+			// seed.
+			base.Seed = sim.DeriveSeed(base.Seed, math.Float64bits(x))
 			return base
 		},
 	}

@@ -70,7 +70,10 @@ type fsState struct {
 	zipf    *sim.Zipf
 }
 
-// threadState is one virtual thread.
+// threadState is one virtual thread. In a closed-loop class it is a
+// self-paced loop over the class's flowops; in an open-loop class it
+// is one worker of the class's service pool, executing op instances
+// its generator dispatched.
 type threadState struct {
 	spec *ThreadSpec
 	// owner is the thread's stable OwnerID: its index in the engine's
@@ -87,6 +90,77 @@ type threadState struct {
 	fds     map[string]*vfs.FD
 	fdOrder []string // open order, so fd picks are deterministic
 	rng     *sim.RNG
+
+	// Open-loop worker state: the class this worker serves (nil for
+	// closed loops) and the arrival time of the op instance currently
+	// executing — the instant latency is measured from.
+	class   *classState
+	arrival sim.Time
+}
+
+// openLoop reports whether the thread serves an open-loop class.
+func (th *threadState) openLoop() bool { return th.class != nil }
+
+// curMap returns the sequential-cursor map ops should use: the
+// class's shared map for open-loop workers, the thread's own for
+// closed loops.
+func (th *threadState) curMap() map[string]int64 {
+	if th.class != nil {
+		return th.class.cursors
+	}
+	return th.cursors
+}
+
+// classState is one open-loop thread class's shared state: the
+// arrival backlog its generator fills, the idle workers waiting for
+// it (in park order, so wake-ups are deterministic), and the class's
+// flowop cursor — in an open loop the *sequence* of op instances
+// belongs to the class, not to any one worker. Sequential-I/O cursors
+// live here too, for the same reason: instances of one logical stream
+// land on whichever worker is free, and per-worker cursors would
+// re-read the same offsets from every worker. (Baton serialization
+// makes the shared maps safe, §4.2.)
+type classState struct {
+	spec    *ThreadSpec
+	rng     *sim.RNG    // arrival-time draws
+	queue   []arrival   // generated, not yet picked up (FIFO)
+	idle    []*sim.Proc // workers parked waiting for arrivals (FIFO)
+	genDone bool
+	opIdx   int
+	iter    int
+	cursors map[string]int64 // class-owned sequential cursors
+}
+
+// arrival is one dispatched op instance.
+type arrival struct {
+	op Flowop
+	at sim.Time
+}
+
+// nextOp advances the class's flowop cursor.
+func (cs *classState) nextOp() Flowop {
+	return advanceFlowop(cs.spec, &cs.opIdx, &cs.iter)
+}
+
+// advanceFlowop returns the flowop at the (opIdx, iter) cursor and
+// advances it, honoring Iters. The closed-loop step (per-thread
+// cursor) and the open-loop generator (class cursor) share it so the
+// two loop disciplines can never diverge on sequence semantics.
+func advanceFlowop(spec *ThreadSpec, opIdx, iter *int) Flowop {
+	op := spec.Flowops[*opIdx]
+	iters := op.Iters
+	if iters <= 0 {
+		iters = 1
+	}
+	*iter++
+	if *iter >= iters {
+		*iter = 0
+		*opIdx++
+		if *opIdx >= len(spec.Flowops) {
+			*opIdx = 0
+		}
+	}
+	return op
 }
 
 // dropFD forgets the thread's handle for path, keeping fdOrder in sync.
@@ -125,8 +199,10 @@ type Engine struct {
 	rng     *sim.RNG
 	sets    map[string]*fsState
 	threads []*threadState
+	classes []*classState // open-loop classes (generator per entry)
 	probe   *Probe
 	counter metrics.Counter
+	load    metrics.LoadGauge
 	qstats  device.QueueStats // device-queue counters from the last Run
 }
 
@@ -147,14 +223,26 @@ func NewEngine(m *vfs.Mount, w *Workload, seed uint64) (*Engine, error) {
 	}
 	for ti := range w.Threads {
 		spec := &w.Threads[ti]
+		var cs *classState
+		if spec.Arrival.Open() {
+			cs = &classState{spec: spec, cursors: make(map[string]int64)}
+		}
 		for c := 0; c < spec.Count; c++ {
 			e.threads = append(e.threads, &threadState{
 				spec:    spec,
 				owner:   len(e.threads),
+				class:   cs,
 				cursors: make(map[string]int64),
 				fds:     make(map[string]*vfs.FD),
 				rng:     e.rng.Split(),
 			})
+		}
+		if cs != nil {
+			// The generator's stream splits after the class's worker
+			// streams, so purely closed-loop workloads keep the exact
+			// RNG assignment they had before open loops existed.
+			cs.rng = e.rng.Split()
+			e.classes = append(e.classes, cs)
 		}
 	}
 	return e, nil
@@ -165,6 +253,11 @@ func (e *Engine) SetProbe(p *Probe) { e.probe = p }
 
 // Counter reports op totals accumulated so far.
 func (e *Engine) Counter() metrics.Counter { return e.counter }
+
+// Load reports the open-loop offered/completed gauge accumulated
+// during Run. It stays zero-valued for purely closed-loop workloads,
+// whose arrivals are gated by completions and cannot diverge.
+func (e *Engine) Load() metrics.LoadGauge { return e.load }
 
 // Mount exposes the mount under test.
 func (e *Engine) Mount() *vfs.Mount { return e.m }
@@ -272,39 +365,47 @@ func (e *Engine) DropCaches() {
 // until its completion event fires, and ops start in global
 // virtual-time order — so the result is bit-identical for a given
 // (workload, seed) at any host parallelism.
+//
+// Closed-loop thread classes run the classic loop: each thread issues
+// its next op when the previous one completes. Open-loop classes add
+// a generator process per class that stamps arrival times and
+// dispatches op instances to the class's workers, so arrivals are not
+// gated by service completions; latency is measured from arrival, and
+// the offered-vs-completed gap lands in Load().
 func (e *Engine) Run(from, until sim.Time) (sim.Time, error) {
 	loop := sim.NewEventLoop(from)
 	if err := e.m.BeginEvents(loop); err != nil {
 		return from, err
 	}
 	var runErr error
-	remaining := len(e.threads)
+	remaining := len(e.threads) + len(e.classes)
+	finish := func() {
+		// When the last process finishes, tell the write-back daemon
+		// to exit at its next wake — otherwise its periodic wake-up
+		// would keep the loop alive forever.
+		if remaining--; remaining == 0 {
+			e.m.StopWriteback()
+		}
+	}
+	// Workers spawn before generators so every idle worker is parked
+	// on its class's list before the first arrival fires.
 	for _, th := range e.threads {
 		th := th
 		th.now = from
+		body := e.closedLoop
+		if th.openLoop() {
+			body = e.workerLoop
+		}
 		loop.Go(from, func(p *sim.Proc) {
-			defer func() {
-				// When the last thread finishes, tell the write-back
-				// daemon to exit at its next wake — otherwise its
-				// periodic wake-up would keep the loop alive forever.
-				if remaining--; remaining == 0 {
-					e.m.StopWriteback()
-				}
-			}()
-			for th.now < until && runErr == nil {
-				// Align the op's start with the global clock so ops
-				// across threads execute in virtual-time order, then
-				// rebind the mount to this thread's process and
-				// requester identity.
-				p.WaitUntil(th.now)
-				e.m.SetProc(p, th.owner+1)
-				if err := e.step(th); err != nil {
-					if runErr == nil {
-						runErr = err
-					}
-					return
-				}
-			}
+			defer finish()
+			body(p, th, until, &runErr)
+		})
+	}
+	for _, cs := range e.classes {
+		cs := cs
+		loop.Go(from, func(p *sim.Proc) {
+			defer finish()
+			e.generate(p, cs, until, &runErr)
 		})
 	}
 	loop.Run() // drains thread procs and all async completions
@@ -318,6 +419,135 @@ func (e *Engine) Run(from, until sim.Time) (sim.Time, error) {
 	return end, runErr
 }
 
+// closedLoop is the classic self-paced thread body.
+func (e *Engine) closedLoop(p *sim.Proc, th *threadState, until sim.Time, runErr *error) {
+	for th.now < until && *runErr == nil {
+		// Align the op's start with the global clock so ops across
+		// threads execute in virtual-time order, then rebind the mount
+		// to this thread's process and requester identity.
+		p.WaitUntil(th.now)
+		e.m.SetProc(p, th.owner+1)
+		if err := e.step(th); err != nil {
+			if *runErr == nil {
+				*runErr = err
+			}
+			return
+		}
+	}
+}
+
+// workerLoop is one open-loop service process: it pulls op instances
+// off its class's arrival queue and executes them, parking on the
+// class's idle list when the queue is empty. Queueing delay ahead of
+// service — the open-loop signature — lands in the recorded latency
+// because execOp measures from the instance's arrival time.
+func (e *Engine) workerLoop(p *sim.Proc, th *threadState, until sim.Time, runErr *error) {
+	cs := th.class
+	for *runErr == nil {
+		if len(cs.queue) == 0 {
+			if cs.genDone {
+				return
+			}
+			// Realign with the global clock before sleeping so the
+			// wake-up cannot rewind this worker's local clock, then
+			// re-check: an arrival may have landed during the yield.
+			p.WaitUntil(th.now)
+			if len(cs.queue) == 0 && !cs.genDone {
+				cs.idle = append(cs.idle, p)
+				if t := p.Park(); t > th.now {
+					th.now = t
+				}
+			}
+			continue
+		}
+		if th.now >= until {
+			// Abandon the backlog: Load() reports it as offered minus
+			// completed — the divergence a closed loop cannot show.
+			return
+		}
+		job := cs.queue[0]
+		if cs.queue = cs.queue[1:]; len(cs.queue) == 0 {
+			cs.queue = nil // release the drained backing array
+		}
+		if job.at > th.now {
+			th.now = job.at
+		}
+		p.WaitUntil(th.now)
+		e.m.SetProc(p, th.owner+1)
+		th.arrival = job.at
+		err := e.execOp(th, job.op)
+		e.load.Complete()
+		if err != nil {
+			if *runErr == nil {
+				*runErr = err
+			}
+			return
+		}
+	}
+}
+
+// generate is an open-loop class's arrival process: it stamps arrival
+// times per the class's Arrival spec, appends op instances to the
+// class queue, and hands the baton to an idle worker when one is
+// parked. It never waits for service completions — that independence
+// is the whole point.
+func (e *Engine) generate(p *sim.Proc, cs *classState, until sim.Time, runErr *error) {
+	defer func() {
+		// Wake every idle worker so it can observe genDone and exit;
+		// otherwise the parked procs would never finish and the
+		// write-back daemon would keep the loop alive forever.
+		cs.genDone = true
+		for len(cs.idle) > 0 {
+			w := cs.idle[0]
+			cs.idle = cs.idle[1:]
+			w.Unpark()
+		}
+	}()
+	a := cs.spec.Arrival
+	perOp := float64(sim.Second) / a.Rate
+	next := p.Now()
+	for *runErr == nil {
+		var gap sim.Time
+		switch a.Kind {
+		case ArrivalPoisson:
+			gap = sim.Time(cs.rng.Exponential(perOp))
+		case ArrivalUniform:
+			gap = sim.Time(perOp)
+		case ArrivalBurst:
+			gap = sim.Time(float64(a.Burst) * perOp)
+		}
+		if gap < 1 {
+			// A drawn or configured gap below the 1 ns clock resolution
+			// must still advance time, or a super-GHz rate would pin
+			// `next` forever and the generator would spin appending
+			// arrivals at one instant without ever yielding.
+			gap = 1
+		}
+		next += gap
+		if next >= until {
+			return
+		}
+		p.WaitUntil(next)
+		n := 1
+		if a.Kind == ArrivalBurst {
+			n = a.Burst
+		}
+		for i := 0; i < n; i++ {
+			e.load.Arrive()
+			cs.queue = append(cs.queue, arrival{op: cs.nextOp(), at: next})
+			if len(cs.idle) > 0 {
+				// Direct baton handoff: the worker runs until it parks
+				// (on I/O or back onto the idle list), then control
+				// returns here — deterministic under the one-baton
+				// discipline.
+				w := cs.idle[0]
+				cs.idle = cs.idle[1:]
+				w.Unpark()
+			}
+		}
+	}
+}
+
 // QueueStats reports the device-queue counters accumulated during the
 // last Run: submissions, completions, the queue-occupancy high-water
 // mark, and total queueing delay.
@@ -325,21 +555,7 @@ func (e *Engine) QueueStats() device.QueueStats { return e.qstats }
 
 // step executes one flowop on one thread, advancing its clock.
 func (e *Engine) step(th *threadState) error {
-	op := th.spec.Flowops[th.opIdx]
-	iters := op.Iters
-	if iters <= 0 {
-		iters = 1
-	}
-	err := e.execOp(th, op)
-	th.iter++
-	if th.iter >= iters {
-		th.iter = 0
-		th.opIdx++
-		if th.opIdx >= len(th.spec.Flowops) {
-			th.opIdx = 0
-		}
-	}
-	return err
+	return e.execOp(th, advanceFlowop(th.spec, &th.opIdx, &th.iter))
 }
 
 // pickExisting selects a live file, uniform or Zipf.
@@ -350,7 +566,21 @@ func (e *Engine) pickExisting(th *threadState, st *fsState, zipf bool) (string, 
 	}
 	var idx int
 	if zipf && st.zipf != nil {
-		idx = int(st.zipf.Next()) % n
+		// The Zipf sampler ranges over spec.Entries ranks, but the
+		// live-name list can be smaller (low PreallocFrac, deletes).
+		// Folding out-of-range ranks through %n would alias distinct
+		// ranks onto the same files and distort the popularity
+		// distribution, so redraw instead; after a bounded number of
+		// attempts clamp to the least-popular live file to keep the
+		// pick O(1) even when almost all mass is out of range.
+		r := st.zipf.Next()
+		for tries := 0; r >= int64(n) && tries < 64; tries++ {
+			r = st.zipf.Next()
+		}
+		if r >= int64(n) {
+			r = int64(n) - 1
+		}
+		idx = int(r)
 	} else {
 		idx = th.rng.Intn(n)
 	}
@@ -374,7 +604,10 @@ func (e *Engine) openFD(th *threadState, path string) (*vfs.FD, error) {
 
 // execOp performs one flowop instance. Errors of the benign kind
 // (create racing delete within the workload's own churn) are counted,
-// not fatal.
+// not fatal. moved accumulates the bytes the op actually transferred
+// (a whole-file read counts the whole file, a clamped read counts the
+// clamped length), which is what the byte counter and the probe
+// report.
 func (e *Engine) execOp(th *threadState, op Flowop) error {
 	start := th.now + th.spec.PerOpOverhead
 	if op.Kind == OpThink {
@@ -386,6 +619,7 @@ func (e *Engine) execOp(th *threadState, op Flowop) error {
 	var err error
 	var tPath string
 	var tOff int64
+	var moved int64
 	switch op.Kind {
 	case OpReadRand, OpReadSeq, OpReadWholeFile:
 		path, ok := e.pickExisting(th, st, op.Zipf)
@@ -405,21 +639,27 @@ func (e *Engine) execOp(th *threadState, op Flowop) error {
 		case OpReadRand:
 			size := fd.Size()
 			if size <= op.IOSize {
-				_, done, err = e.m.Read(start, fd, 0, op.IOSize)
+				moved, done, err = e.m.Read(start, fd, 0, op.IOSize)
 				break
 			}
 			slots := (size - op.IOSize) / op.IOSize
 			off := th.rng.Int63n(slots+1) * op.IOSize
 			tOff = off
-			_, done, err = e.m.Read(start, fd, off, op.IOSize)
+			moved, done, err = e.m.Read(start, fd, off, op.IOSize)
 		case OpReadSeq:
-			cur := th.cursors[path]
+			cursors := th.curMap()
+			cur := cursors[path]
 			if cur >= fd.Size() {
 				cur = 0
 			}
 			tOff = cur
-			_, done, err = e.m.Read(start, fd, cur, op.IOSize)
-			th.cursors[path] = cur + op.IOSize
+			moved, done, err = e.m.Read(start, fd, cur, op.IOSize)
+			if err == nil {
+				// Advance by the bytes actually read: an errored or
+				// short read must not walk the cursor past EOF between
+				// resets.
+				cursors[path] = cur + moved
+			}
 		case OpReadWholeFile:
 			now := start
 			var n int64
@@ -428,6 +668,7 @@ func (e *Engine) execOp(th *threadState, op Flowop) error {
 				if err != nil || n == 0 {
 					break
 				}
+				moved += n
 			}
 			done = now
 		}
@@ -454,17 +695,30 @@ func (e *Engine) execOp(th *threadState, op Flowop) error {
 			}
 			tOff = off
 			done, err = e.m.Write(start, fd, off, op.IOSize)
+			if err == nil {
+				moved = op.IOSize
+			}
 		case OpWriteSeq:
-			cur := th.cursors[path]
+			cursors := th.curMap()
+			cur := cursors[path]
 			if cur >= fd.Size() {
 				cur = 0
 			}
 			tOff = cur
 			done, err = e.m.Write(start, fd, cur, op.IOSize)
-			th.cursors[path] = cur + op.IOSize
+			if err == nil {
+				// VFS writes extend the file rather than writing short,
+				// so a successful write moved the full IOSize; a failed
+				// one must leave the cursor where it was.
+				moved = op.IOSize
+				cursors[path] = cur + op.IOSize
+			}
 		case OpAppend:
 			tOff = fd.Size()
 			done, err = e.m.Write(start, fd, fd.Size(), op.IOSize)
+			if err == nil {
+				moved = op.IOSize
+			}
 		}
 	case OpCreate:
 		path := filePath(st.spec.Dir, st.spec.Name, st.nextNew)
@@ -475,7 +729,11 @@ func (e *Engine) execOp(th *threadState, op Flowop) error {
 		if err == nil {
 			st.names = append(st.names, path)
 			if st.spec.MeanSize > 0 {
-				done, err = e.m.Write(done, fd, 0, e.fileSize(st))
+				size := e.fileSize(st)
+				done, err = e.m.Write(done, fd, 0, size)
+				if err == nil {
+					moved = size
+				}
 			}
 		}
 	case OpDelete:
@@ -491,6 +749,9 @@ func (e *Engine) execOp(th *threadState, op Flowop) error {
 		for _, t := range e.threads {
 			t.dropFD(path)
 			delete(t.cursors, path)
+		}
+		for _, cs := range e.classes {
+			delete(cs.cursors, path)
 		}
 		done, err = e.m.Unlink(start, path)
 	case OpStat:
@@ -549,8 +810,15 @@ func (e *Engine) execOp(th *threadState, op Flowop) error {
 		done = start
 	}
 	e.counter.Ops++
-	e.counter.Bytes += op.IOSize
-	e.probe.record(th.owner, op.Kind, tPath, tOff, op.IOSize, start, done)
+	e.counter.Bytes += moved
+	recStart := start
+	if th.openLoop() {
+		// Open-loop latency runs from queue entry, not service start:
+		// the time an instance waited for a free worker is exactly the
+		// saturation signal a closed loop self-throttles away.
+		recStart = th.arrival
+	}
+	e.probe.record(th.owner, op.Kind, tPath, tOff, moved, recStart, done)
 	th.now = done
 	return nil
 }

@@ -72,6 +72,29 @@ func SequentialWrite(ioSize int64, threads int) *Workload {
 	}
 }
 
+// OpenLoopRead is the open-loop counterpart of RandomRead: a Poisson
+// arrival process offers `rate` random ioSize reads per second to a
+// pool of `workers` service threads. Unlike the closed loop, arrivals
+// are not gated by completions: past device saturation the backlog
+// grows and latency — measured from arrival, not service start —
+// explodes, instead of the generator politely self-throttling. This
+// is the harness-structure axis the paper's survey found no benchmark
+// isolating.
+func OpenLoopRead(fileSize, ioSize int64, workers int, rate float64) *Workload {
+	return &Workload{
+		Name: "openloop",
+		FileSets: []FileSet{{
+			Name: "data", Dir: "/data", Entries: 1,
+			MeanSize: fileSize, PreallocFrac: 1,
+		}},
+		Threads: []ThreadSpec{{
+			Name: "reader", Count: workers, PerOpOverhead: DefaultPerOpOverhead,
+			Arrival: Arrival{Kind: ArrivalPoisson, Rate: rate},
+			Flowops: []Flowop{{Kind: OpReadRand, FileSet: "data", IOSize: ioSize}},
+		}},
+	}
+}
+
 // CreateDelete is the pure metadata churn personality: create a small
 // file, stat it, delete one.
 func CreateDelete(fileSize int64, threads int) *Workload {
@@ -242,8 +265,8 @@ func MixedRegions(regions, readersPerRegion, writers int, regionBytes, ioSize in
 // Personalities lists the stock constructors by name for CLI use.
 func Personalities() []string {
 	return []string{"randomread", "seqread", "randomwrite", "seqwrite",
-		"createdelete", "webserver", "fileserver", "varmail", "oltp",
-		"mixedregions"}
+		"openloop", "createdelete", "webserver", "fileserver", "varmail",
+		"oltp", "mixedregions"}
 }
 
 // ByName builds a stock personality with representative defaults.
@@ -257,6 +280,11 @@ func ByName(name string) (*Workload, bool) {
 		return RandomWrite(410<<20, 2<<10, 1), true
 	case "seqwrite":
 		return SequentialWrite(64<<10, 1), true
+	case "openloop":
+		// 2 KB Poisson reads over a disk-spanning file: at 150 ops/s
+		// the default HDD stack sits just past its random-read
+		// capacity, so the default run shows the open-loop knee.
+		return OpenLoopRead(4<<30, 2<<10, 8, 150), true
 	case "createdelete":
 		return CreateDelete(16<<10, 1), true
 	case "webserver":

@@ -23,7 +23,10 @@ import (
 //	}
 //
 // Lines are '#'-commented; sizes accept k/m/g suffixes; durations
-// accept ns/us/ms/s.
+// accept ns/us/ms/s. Thread blocks accept arrival=closed|poisson|
+// uniform|burst with rate=<ops/sec> (and burst=<n> for burst) to
+// select an open-loop arrival process instead of the default closed
+// loop.
 
 // ParseWDL reads a workload description.
 func ParseWDL(r io.Reader) (*Workload, error) {
@@ -110,6 +113,12 @@ func ParseWDL(r io.Reader) (*Workload, error) {
 					th.Count, err = strconv.Atoi(v)
 				case "overhead":
 					th.PerOpOverhead, err = ParseDuration(v)
+				case "arrival":
+					th.Arrival.Kind, err = ParseArrivalKind(v)
+				case "rate":
+					th.Arrival.Rate, err = strconv.ParseFloat(v, 64)
+				case "burst":
+					th.Arrival.Burst, err = strconv.Atoi(v)
 				default:
 					return nil, errf("unknown thread attribute %q", k)
 				}
@@ -234,7 +243,14 @@ func FormatWDL(w *Workload) string {
 		sb.WriteByte('\n')
 	}
 	for _, th := range w.Threads {
-		fmt.Fprintf(&sb, "thread %s count=%d overhead=%dns {\n", th.Name, th.Count, int64(th.PerOpOverhead))
+		fmt.Fprintf(&sb, "thread %s count=%d overhead=%dns", th.Name, th.Count, int64(th.PerOpOverhead))
+		if th.Arrival.Open() {
+			fmt.Fprintf(&sb, " arrival=%s rate=%g", th.Arrival.Kind, th.Arrival.Rate)
+			if th.Arrival.Kind == ArrivalBurst {
+				fmt.Fprintf(&sb, " burst=%d", th.Arrival.Burst)
+			}
+		}
+		sb.WriteString(" {\n")
 		for _, op := range th.Flowops {
 			if op.Kind == OpThink {
 				fmt.Fprintf(&sb, "    think %dns\n", int64(op.Think))

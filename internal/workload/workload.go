@@ -75,6 +75,71 @@ func ParseOpKind(s string) (OpKind, error) {
 	return 0, fmt.Errorf("workload: unknown op kind %q", s)
 }
 
+// ArrivalKind selects how a thread class generates load.
+type ArrivalKind int
+
+// Arrival disciplines.
+const (
+	// ArrivalClosed is the classic benchmark loop: each thread issues
+	// its next op when the previous one completes, so the generator
+	// self-throttles under load and saturation latency never appears —
+	// the harness-structure artifact the paper warns about.
+	ArrivalClosed ArrivalKind = iota
+	// ArrivalPoisson is an open loop with exponential inter-arrival
+	// times at the class's target rate.
+	ArrivalPoisson
+	// ArrivalUniform is an open loop with fixed 1/rate spacing.
+	ArrivalUniform
+	// ArrivalBurst is an open loop emitting Burst op instances at each
+	// epoch, epochs spaced Burst/rate apart (mean rate preserved).
+	ArrivalBurst
+)
+
+var arrivalNames = map[ArrivalKind]string{
+	ArrivalClosed:  "closed",
+	ArrivalPoisson: "poisson",
+	ArrivalUniform: "uniform",
+	ArrivalBurst:   "burst",
+}
+
+// String names the arrival kind.
+func (k ArrivalKind) String() string {
+	if n, ok := arrivalNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("arrival(%d)", int(k))
+}
+
+// ParseArrivalKind parses the names printed by String.
+func ParseArrivalKind(s string) (ArrivalKind, error) {
+	for k, n := range arrivalNames {
+		if n == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown arrival kind %q", s)
+}
+
+// Arrival describes a thread class's arrival process. The zero value
+// is the closed loop. Open-loop kinds decouple arrivals from service
+// completions: a generator stamps arrival times and dispatches op
+// instances to the class's Count workers, and latency is measured
+// from arrival (queue entry), not service start — so past device
+// saturation the backlog grows and latency explodes instead of the
+// generator politely slowing down.
+type Arrival struct {
+	Kind ArrivalKind
+	// Rate is the class's offered load in operations per second,
+	// shared across the class's Count workers (open-loop kinds only).
+	Rate float64
+	// Burst is the number of op instances per arrival epoch
+	// (ArrivalBurst only; must be >= 1 there, ignored elsewhere).
+	Burst int
+}
+
+// Open reports whether the process is open-loop.
+func (a Arrival) Open() bool { return a.Kind != ArrivalClosed }
+
 // Flowop is one step in a thread's loop.
 type Flowop struct {
 	Kind    OpKind
@@ -111,7 +176,10 @@ type ThreadSpec struct {
 	// tool sustains only ~10 4 ops/s — both numbers straight out of
 	// the paper's Figures 1 and 3(a).
 	PerOpOverhead sim.Time
-	Flowops       []Flowop
+	// Arrival selects the class's load-generation discipline; the zero
+	// value is the classic closed loop.
+	Arrival Arrival
+	Flowops []Flowop
 }
 
 // DefaultPerOpOverhead reproduces Filebench-scale per-op tool cost.
@@ -149,6 +217,30 @@ func (w *Workload) Validate() error {
 		}
 		if len(th.Flowops) == 0 {
 			return fmt.Errorf("workload %s: thread %q has no flowops", w.Name, th.Name)
+		}
+		switch th.Arrival.Kind {
+		case ArrivalClosed, ArrivalPoisson, ArrivalUniform, ArrivalBurst:
+		default:
+			return fmt.Errorf("workload %s: thread %q unknown arrival kind %d",
+				w.Name, th.Name, int(th.Arrival.Kind))
+		}
+		if th.Arrival.Open() {
+			if !(th.Arrival.Rate > 0) {
+				return fmt.Errorf("workload %s: thread %q %s arrivals need rate > 0, got %v",
+					w.Name, th.Name, th.Arrival.Kind, th.Arrival.Rate)
+			}
+			if th.Arrival.Kind == ArrivalBurst && th.Arrival.Burst < 1 {
+				return fmt.Errorf("workload %s: thread %q burst arrivals need burst >= 1, got %d",
+					w.Name, th.Name, th.Arrival.Burst)
+			}
+			for _, op := range th.Flowops {
+				if op.Kind == OpThink {
+					// Pacing belongs to the generator in an open loop;
+					// a think op would only stall a worker.
+					return fmt.Errorf("workload %s: thread %q mixes think flowops with open-loop arrivals",
+						w.Name, th.Name)
+				}
+			}
 		}
 		for _, op := range th.Flowops {
 			if op.Kind == OpThink {
