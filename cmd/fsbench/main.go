@@ -20,6 +20,7 @@ import (
 	fsbench "repro"
 	"repro/internal/core"
 	"repro/internal/report"
+	"repro/internal/warehouse"
 	"repro/internal/workload"
 )
 
@@ -47,6 +48,7 @@ func main() {
 		cold         = flag.Bool("cold", false, "drop caches after setup (cold start)")
 		seed         = flag.Uint64("seed", 1, "base seed")
 		parallel     = flag.Int("parallel", 0, "concurrent runs, 0 = GOMAXPROCS (results are identical at any setting)")
+		warehouseDir = flag.String("warehouse", "", "archive the full result (per-run samples and histograms) to this results-warehouse directory")
 		progress     = flag.Bool("progress", true, "report per-run progress on stderr")
 		list         = flag.Bool("list", false, "list stock personalities and exit")
 		showHist     = flag.Bool("hist", true, "print the latency histogram")
@@ -121,6 +123,15 @@ func main() {
 		ColdCache:     *cold,
 		Seed:          *seed,
 		Parallelism:   *parallel,
+	}
+	if *warehouseDir != "" {
+		st, err := warehouse.Open(*warehouseDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		st.GitRev = warehouse.GitRev()
+		exp.Recorder = st
 	}
 	progressOpen := false
 	if *progress {

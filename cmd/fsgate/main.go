@@ -1,0 +1,215 @@
+// Command fsgate is the CI regression gate: it replays a fixed set of
+// benchmark legs (mirroring BenchmarkContention's configurations) at
+// a pinned candidate seed, archives the runs to a results warehouse,
+// and statistically compares each leg against a committed baseline
+// archive. The build fails — exit 1 — when any metric regresses at
+// the gate's family-wise alpha, so "the numbers looked fine" becomes
+// a significance test, not a glance at a chart.
+//
+// Usage:
+//
+//	fsgate -baseline ci/baseline.jsonl                # gate (CI mode)
+//	fsgate -baseline ci/baseline.jsonl -update        # refresh the baseline
+//	fsgate -baseline ci/baseline.jsonl -record dir    # keep the candidate archive
+//
+// The baseline is recorded at seed 101, candidates at seed 202, both
+// with 8 runs per leg: at alpha 0.01 over the gate's metric family,
+// Holm's strictest threshold is alpha/m, and the Mann-Whitney test's
+// smallest reachable p-value only clears it from n=8 per side.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	fsbench "repro"
+	"repro/internal/warehouse"
+	"repro/internal/warehouse/gate"
+	"repro/internal/workload"
+)
+
+const (
+	baselineSeed  = 101
+	candidateSeed = 202
+	gateRuns      = 8
+)
+
+// leg is one replayed benchmark configuration.
+type leg struct {
+	name     string
+	stack    fsbench.StackConfig
+	workload *fsbench.Workload
+	duration fsbench.Time
+	window   fsbench.Time
+}
+
+// legs mirrors BenchmarkContention: 16-thread disk-bound random reads
+// at queue depth 1 vs 32 under NCQ on the disk and the 4-channel NVMe
+// device, plus the open-loop Poisson leg past the disk's saturation.
+// Unlike the benchmarks, the legs keep the OS-reserve jitter: the
+// gate needs honest run-to-run variance, or seed luck masquerades as
+// significance.
+func legs() []leg {
+	stack := func(dev string, depth int) fsbench.StackConfig {
+		s := fsbench.StackConfig{
+			FS: "ext2", Device: "hdd", DiskBytes: 8 << 30,
+			RAMBytes: 64 << 20, OSReserveBytes: 13 << 20, OSReserveJitter: 1 << 20,
+			CachePolicy: "lru", Scheduler: "ncq", QueueDepth: depth,
+		}
+		if dev == "nvme" {
+			s.Device = "nvme"
+			s.NVMeChannels = 4
+		}
+		return s
+	}
+	read := func() *fsbench.Workload { return fsbench.RandomRead(1<<30, 2<<10, 16) }
+	return []leg{
+		{"gate-hdd-qd1", stack("hdd", 1), read(), 15 * fsbench.Second, 5 * fsbench.Second},
+		{"gate-hdd-qd32", stack("hdd", 32), read(), 15 * fsbench.Second, 5 * fsbench.Second},
+		{"gate-nvme4-qd1", stack("nvme", 1), read(), 5 * fsbench.Second, 2 * fsbench.Second},
+		{"gate-nvme4-qd32", stack("nvme", 32), read(), 5 * fsbench.Second, 2 * fsbench.Second},
+		{"gate-openloop", stack("hdd", 32), fsbench.OpenLoopRead(1<<30, 2<<10, 16, 180),
+			5 * fsbench.Second, 2 * fsbench.Second},
+	}
+}
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "ci/baseline.jsonl", "committed baseline archive to gate against")
+		record   = flag.String("record", "", "directory to archive candidate runs in (default: a temp dir)")
+		alpha    = flag.Float64("alpha", 0.01, "family-wise significance level per leg")
+		update   = flag.Bool("update", false, "re-record the baseline instead of gating")
+		parallel = flag.Int("parallel", 0, "concurrent runs, 0 = GOMAXPROCS (results are identical at any setting)")
+	)
+	flag.Parse()
+
+	if *update {
+		if err := recordBaseline(*baseline, *parallel); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := runGate(*baseline, *record, *alpha, *parallel); err != nil {
+		fatal(err)
+	}
+}
+
+// replay runs every leg at the given base seed, archiving into dir,
+// and returns the archived set.
+func replay(dir string, seed uint64, parallel int) (warehouse.Set, error) {
+	st, err := warehouse.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	st.GitRev = warehouse.GitRev()
+	for _, l := range legs() {
+		exp := &fsbench.Experiment{
+			Name:          l.name,
+			Stack:         l.stack,
+			Workload:      l.workload,
+			Runs:          gateRuns,
+			Duration:      l.duration,
+			MeasureWindow: l.window,
+			ColdCache:     true,
+			Seed:          seed,
+			Parallelism:   parallel,
+			Kinds:         []fsbench.OpKind{workload.OpReadRand},
+			Recorder:      st,
+		}
+		res, err := exp.Run()
+		if err != nil {
+			return nil, fmt.Errorf("leg %s: %w", l.name, err)
+		}
+		fmt.Fprintf(os.Stderr, "  %s: %d runs, %.0f ops/s mean [%s]\n",
+			l.name, gateRuns, res.Throughput.Mean, res.Flags)
+	}
+	return st.Load()
+}
+
+// recordBaseline replays the legs at the baseline seed and replaces
+// the baseline archive file.
+func recordBaseline(path string, parallel int) error {
+	tmp, err := os.MkdirTemp("", "fsgate-baseline-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	fmt.Fprintf(os.Stderr, "recording baseline (seed %d, %d runs per leg)\n", baselineSeed, gateRuns)
+	if _, err := replay(tmp, baselineSeed, parallel); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(filepath.Join(tmp, "results.jsonl"))
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("baseline written to %s\n", path)
+	return nil
+}
+
+// runGate replays the candidate legs and gates each against the
+// baseline archive, exiting non-zero on any regression.
+func runGate(baselinePath, recordDir string, alpha float64, parallel int) error {
+	base, err := warehouse.LoadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("loading baseline (run with -update to create it): %w", err)
+	}
+	if recordDir == "" {
+		tmp, err := os.MkdirTemp("", "fsgate-candidate-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		recordDir = tmp
+	}
+	fmt.Fprintf(os.Stderr, "replaying candidate legs (seed %d, %d runs per leg)\n", candidateSeed, gateRuns)
+	cand, err := replay(recordDir, candidateSeed, parallel)
+	if err != nil {
+		return err
+	}
+
+	failed := false
+	for _, l := range legs() {
+		b := base.Filter(warehouse.Filter{Name: l.name})
+		c := cand.Filter(warehouse.Filter{Name: l.name})
+		if len(b) == 0 {
+			fmt.Printf("== %s: MISSING from baseline — refresh it with -update\n\n", l.name)
+			failed = true
+			continue
+		}
+		rep := gate.Compare(b, c, gate.Config{Alpha: alpha})
+		fmt.Printf("== %s\n%s", l.name, rep)
+		if !rep.FingerprintMatch {
+			// The candidate measured a different configuration than the
+			// baseline: the comparison is between different things, which
+			// is a stale baseline, not a verdict.
+			fmt.Printf("   CONFIG DRIFT: baseline fingerprint differs — refresh it with -update\n")
+			failed = true
+		}
+		if regs := rep.Regressions(); len(regs) > 0 {
+			for _, m := range regs {
+				fmt.Printf("   REGRESSED: %s (%+.1f%%)\n", m.Metric, 100*m.Effect)
+			}
+			failed = true
+		}
+		fmt.Println()
+	}
+	if failed {
+		return fmt.Errorf("regression gate failed at alpha %g", alpha)
+	}
+	fmt.Printf("regression gate passed: no significant regressions at alpha %g\n", alpha)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fsgate: %v\n", err)
+	os.Exit(1)
+}

@@ -27,6 +27,15 @@ type Protocol struct {
 	// Parallelism bounds concurrent runs (0 = GOMAXPROCS). Every
 	// figure is bit-identical at any setting.
 	Parallelism int
+	// Recorder, when non-nil, archives every figure's measured runs
+	// (full per-run samples and histograms) — the -warehouse flag.
+	Recorder fsbench.Recorder
+	// Tiny shrinks the figures that hard-code their own sweeps
+	// (contention, qdsweep, openloop) to a couple of points at the
+	// protocol's durations. The output is still deterministic for a
+	// given seed — the golden-file tests depend on that — but the
+	// numbers are smoke-scale, not the paper's.
+	Tiny bool
 }
 
 // sweepProgress prints a stderr line as each sweep point completes.
@@ -82,6 +91,7 @@ func figure1(proto Protocol) error {
 		sizes = append(sizes, mb<<20)
 	}
 	sweep := fsbench.FileSizeSweep(stack, sizes, proto.Runs, proto.Duration, proto.Window, proto.Seed)
+	sweep.Base.Recorder = proto.Recorder
 	sweep.Parallelism = proto.Parallelism
 	sweep.Progress = sweepProgress
 	res, err := sweep.Run()
@@ -150,6 +160,7 @@ func figure1(proto Protocol) error {
 		fine = append(fine, mb<<20)
 	}
 	fineSweep := fsbench.FileSizeSweep(stack, fine, proto.Runs, proto.Duration, proto.Window, proto.Seed+1000)
+	fineSweep.Base.Recorder = proto.Recorder
 	fineSweep.Parallelism = proto.Parallelism
 	fineSweep.Progress = sweepProgress
 	fineRes, err := fineSweep.Run()
@@ -204,6 +215,7 @@ func figure1zoom(proto Protocol) error {
 		Window:      15 * fsbench.Second,
 		Seed:        proto.Seed,
 		Parallelism: proto.Parallelism,
+		Recorder:    proto.Recorder,
 	}
 	base := fsbench.SelfScaleParams{IOSize: 2 << 10, ReadFrac: 1, SeqFrac: 0, Threads: 1}
 	cliff, err := fsbench.CliffSearch(cfg, base, 384<<20, 448<<20, 3, 2<<20)
@@ -248,6 +260,7 @@ func figure2(proto Protocol) error {
 			Seed:           proto.Seed,
 			SeriesInterval: 10 * fsbench.Second,
 			Kinds:          []fsbench.OpKind{workload.OpReadRand},
+			Recorder:       proto.Recorder,
 		}
 	}
 	// The three systems are independent: run them as one pool.
@@ -316,6 +329,7 @@ func figure3(proto Protocol) error {
 			MeasureWindow: proto.Window,
 			Seed:          proto.Seed,
 			Kinds:         []fsbench.OpKind{workload.OpReadRand},
+			Recorder:      proto.Recorder,
 		}
 	}
 	// The three file sizes are independent: run them as one pool.
@@ -367,6 +381,7 @@ func figure4(proto Protocol) error {
 		TimelineInterval: 10 * fsbench.Second,
 		Kinds:            []fsbench.OpKind{workload.OpReadRand},
 		Parallelism:      proto.Parallelism,
+		Recorder:         proto.Recorder,
 	}
 	res, err := exp.Run()
 	if err != nil {
@@ -411,11 +426,18 @@ func figure4(proto Protocol) error {
 func figureContention(proto Protocol) error {
 	fmt.Println("=== Contention figure: thread-count sweep at queue depth 1 vs 32 ===")
 	counts := []int{1, 2, 4, 8, 16, 32, 64}
+	fileBytes := int64(4 << 30)
+	if proto.Tiny {
+		counts = []int{1, 4, 16}
+		// Setup cost is dominated by preallocating the file; 1 GB is
+		// still ~2.5x the cache, so the points stay disk-bound.
+		fileBytes = 1 << 30
+	}
 	mk := func(threads int) *fsbench.Workload {
 		// Disk-bound random reads: a 4 GB file ≫ the 410 MB cache, and
 		// wide enough on the 64 GB disk that reordering has seek
 		// distance to reclaim.
-		return fsbench.RandomRead(4<<30, 2<<10, threads)
+		return fsbench.RandomRead(fileBytes, 2<<10, threads)
 	}
 	type depthCurve struct {
 		depth int
@@ -430,6 +452,7 @@ func figureContention(proto Protocol) error {
 		sweep := fsbench.ThreadCountSweep(stack, mk, counts, proto.Runs,
 			proto.Duration, proto.Window, proto.Seed+uint64(depth))
 		sweep.Name = fmt.Sprintf("threadcount-qd%d", depth)
+		sweep.Base.Recorder = proto.Recorder
 		sweep.Parallelism = proto.Parallelism
 		sweep.Progress = sweepProgress
 		fmt.Printf("-- queue depth %d --\n", depth)
@@ -544,6 +567,7 @@ func figureFairness(proto Protocol) error {
 			Seed:          proto.Seed,
 			Parallelism:   proto.Parallelism,
 			Kinds:         []fsbench.OpKind{workload.OpReadRand},
+			Recorder:      proto.Recorder,
 		}
 		fmt.Printf("-- %s --\n", sched)
 		exp.Progress = func(ev fsbench.ProgressEvent) {
@@ -639,6 +663,9 @@ func figureFairness(proto Protocol) error {
 func figureQDSweep(proto Protocol) error {
 	fmt.Println("=== QD sweep figure: HDD vs NVMe across QueueDepth × channels ===")
 	depths := []int{1, 8, 32}
+	if proto.Tiny {
+		depths = []int{1, 8}
+	}
 	devices := []struct {
 		label    string
 		device   string
@@ -666,7 +693,7 @@ func figureQDSweep(proto Protocol) error {
 				Scheduler: "ncq", QueueDepth: qd,
 			}
 			runs, dur, win := proto.Runs, proto.Duration, proto.Window
-			if d.device == "nvme" {
+			if d.device == "nvme" && !proto.Tiny {
 				// The NVMe device is ~100x faster than the disk, so the
 				// same virtual duration would simulate ~100x the
 				// operations; shorter windows keep the figure's wall
@@ -689,6 +716,7 @@ func figureQDSweep(proto Protocol) error {
 				Seed:          proto.Seed,
 				Parallelism:   proto.Parallelism,
 				Kinds:         []fsbench.OpKind{workload.OpReadRand},
+				Recorder:      proto.Recorder,
 			}
 			res, err := exp.Run()
 			if err != nil {
@@ -778,6 +806,9 @@ func figureOpenLoop(proto Protocol) error {
 	if runs > 3 {
 		runs = 3
 	}
+	if proto.Tiny {
+		dur, win = proto.Duration, proto.Window
+	}
 	mkExp := func(name string, w *fsbench.Workload) *fsbench.Experiment {
 		return &fsbench.Experiment{
 			Name:          name,
@@ -790,6 +821,7 @@ func figureOpenLoop(proto Protocol) error {
 			Seed:          proto.Seed,
 			Parallelism:   proto.Parallelism,
 			Kinds:         []fsbench.OpKind{workload.OpReadRand},
+			Recorder:      proto.Recorder,
 		}
 	}
 
@@ -805,6 +837,9 @@ func figureOpenLoop(proto Protocol) error {
 
 	// Stage 2: sweep offered load across the knee, closed and open.
 	fracs := []float64{0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.3}
+	if proto.Tiny {
+		fracs = []float64{0.5, 1.3}
+	}
 	type point struct {
 		frac, rate                  float64
 		closedTP, closedP99ms       float64

@@ -16,6 +16,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	wh "repro/internal/warehouse"
 )
 
 type multiFlag []string
@@ -27,12 +29,13 @@ func main() {
 	var figs multiFlag
 	flag.Var(&figs, "fig", "figure to regenerate: 1, 1zoom, 2, 3, 4, contention, fairness, qdsweep, openloop (repeatable)")
 	var (
-		table    = flag.String("table", "", "table to regenerate: 1")
-		all      = flag.Bool("all", false, "regenerate everything")
-		full     = flag.Bool("full", false, "use the paper's full protocol (20 min runs, 10 repeats)")
-		out      = flag.String("out", "results", "directory for CSV data files")
-		seed     = flag.Uint64("seed", 1, "base seed")
-		parallel = flag.Int("parallel", 0, "concurrent runs, 0 = GOMAXPROCS (results are identical at any setting)")
+		table     = flag.String("table", "", "table to regenerate: 1")
+		all       = flag.Bool("all", false, "regenerate everything")
+		full      = flag.Bool("full", false, "use the paper's full protocol (20 min runs, 10 repeats)")
+		out       = flag.String("out", "results", "directory for CSV data files")
+		seed      = flag.Uint64("seed", 1, "base seed")
+		parallel  = flag.Int("parallel", 0, "concurrent runs, 0 = GOMAXPROCS (results are identical at any setting)")
+		warehouse = flag.String("warehouse", "", "archive every figure's measured runs to this results-warehouse directory")
 	)
 	flag.Parse()
 
@@ -46,6 +49,14 @@ func main() {
 	proto.Seed = *seed
 	proto.OutDir = *out
 	proto.Parallelism = *parallel
+	if *warehouse != "" {
+		st, err := openWarehouse(*warehouse)
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		proto.Recorder = st
+	}
 
 	if *all {
 		figs = multiFlag{"1", "1zoom", "2", "3", "4", "contention", "fairness", "qdsweep", "openloop"}
@@ -93,6 +104,17 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "fsrepro: %v\n", err)
 	os.Exit(1)
+}
+
+// openWarehouse opens (creating if needed) the results archive and
+// stamps appended records with the working tree's git revision.
+func openWarehouse(dir string) (*wh.Store, error) {
+	st, err := wh.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	st.GitRev = wh.GitRev()
+	return st, nil
 }
 
 func outPath(proto Protocol, name string) string {

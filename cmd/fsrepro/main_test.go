@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	fsbench "repro"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden CSV files")
+
+// tinyProtocol is the fixed smoke-scale protocol behind the goldens:
+// seconds of virtual time, two runs, seed 1. Everything in it is
+// pinned — the goldens are byte-exact, so any change here (or to the
+// simulator) shows up as a diff, which is the point.
+func tinyProtocol(t *testing.T) Protocol {
+	return Protocol{
+		Runs:     2,
+		Duration: 2 * fsbench.Second,
+		Window:   1 * fsbench.Second,
+		Seed:     1,
+		OutDir:   t.TempDir(),
+		Tiny:     true,
+	}
+}
+
+// silence routes the figures' stdout/stderr narration to /dev/null
+// for the duration of the test; only the CSV files matter here.
+func silence(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	savedOut, savedErr := os.Stdout, os.Stderr
+	os.Stdout, os.Stderr = devnull, devnull
+	t.Cleanup(func() {
+		os.Stdout, os.Stderr = savedOut, savedErr
+		devnull.Close()
+	})
+}
+
+// TestFigureCSVGoldens regenerates the derived figures' CSV outputs at
+// a tiny fixed-seed configuration and compares them byte-for-byte
+// against committed goldens. Run with -update after an intentional
+// simulator or figure change:
+//
+//	go test ./cmd/fsrepro -run TestFigureCSVGoldens -update
+func TestFigureCSVGoldens(t *testing.T) {
+	figures := []struct {
+		name string
+		run  func(Protocol) error
+		csv  string
+	}{
+		{"contention", figureContention, "contention.csv"},
+		{"qdsweep", figureQDSweep, "qdsweep.csv"},
+		{"fairness", figureFairness, "fairness.csv"},
+		{"openloop", figureOpenLoop, "openloop.csv"},
+	}
+	for _, fig := range figures {
+		t.Run(fig.name, func(t *testing.T) {
+			proto := tinyProtocol(t)
+			silence(t)
+			if err := fig.run(proto); err != nil {
+				t.Fatalf("figure %s: %v", fig.name, err)
+			}
+			got, err := os.ReadFile(filepath.Join(proto.OutDir, fig.csv))
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", fig.csv+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s differs from %s\n--- got ---\n%s\n--- want ---\n%s",
+					fig.csv, golden, got, want)
+			}
+		})
+	}
+}

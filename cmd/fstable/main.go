@@ -1,7 +1,9 @@
 // Command fstable prints the paper's Table 1 benchmark survey and,
 // given a workload, classifies which file-system dimensions it
 // actually measures — the question the paper says researchers never
-// ask.
+// ask. Pointed at a results warehouse, it becomes the archive's query
+// front end: list what was measured, pool filtered run-sets, and gate
+// a candidate against a baseline statistically.
 //
 // Usage:
 //
@@ -9,6 +11,15 @@
 //	fstable -csv                    # ... as CSV
 //	fstable -classify randomread    # classify a stock personality
 //	fstable -classify-wdl w.wdl     # classify a WDL workload
+//
+//	fstable -warehouse dir                         # list archived run-sets
+//	fstable -warehouse dir -query device=nvme      # pooled stats for a selection
+//	fstable -warehouse dir -compare -base git_rev=abc123 -cand git_rev=def456
+//
+// Selectors are comma-separated key=value pairs over the archive's
+// query dimensions: name, personality, fs, device, scheduler,
+// arrival, config (fingerprint), git_rev. -compare exits 1 when any
+// metric regresses at the gate's alpha.
 package main
 
 import (
@@ -23,14 +34,24 @@ import (
 
 func main() {
 	var (
-		asCSV       = flag.Bool("csv", false, "emit CSV instead of the text table")
-		classify    = flag.String("classify", "", "classify a stock personality by name")
-		classifyWDL = flag.String("classify-wdl", "", "classify a WDL workload file")
-		cacheMB     = flag.Int64("cache", 410, "assumed page-cache size in MB for classification")
+		asCSV        = flag.Bool("csv", false, "emit CSV instead of the text table")
+		classify     = flag.String("classify", "", "classify a stock personality by name")
+		classifyWDL  = flag.String("classify-wdl", "", "classify a WDL workload file")
+		cacheMB      = flag.Int64("cache", 410, "assumed page-cache size in MB for classification")
+		warehouseDir = flag.String("warehouse", "", "results-warehouse directory to query")
+		query        = flag.String("query", "", "selector: pooled stats for matching records (with -warehouse)")
+		compare      = flag.Bool("compare", false, "gate -cand against -base statistically (with -warehouse)")
+		baseSel      = flag.String("base", "", "baseline selector for -compare")
+		candSel      = flag.String("cand", "", "candidate selector for -compare")
+		alpha        = flag.Float64("alpha", 0.01, "family-wise significance level for -compare")
 	)
 	flag.Parse()
 
 	switch {
+	case *warehouseDir != "":
+		if err := warehouseMain(*warehouseDir, *query, *compare, *baseSel, *candSel, *alpha); err != nil {
+			fatal(err)
+		}
 	case *classify != "" || *classifyWDL != "":
 		w, err := load(*classify, *classifyWDL)
 		if err != nil {

@@ -162,6 +162,9 @@ type (
 	ProgressEvent = core.ProgressEvent
 	// ProgressFunc consumes serialized progress events.
 	ProgressFunc = core.ProgressFunc
+	// Recorder receives every completed Result (Experiment.Recorder);
+	// a warehouse.Store satisfies it to archive runs.
+	Recorder = core.Recorder
 	// Dimension is one of the paper's five file-system dimensions.
 	Dimension = core.Dimension
 	// Coverage grades how strongly a workload exercises a dimension.

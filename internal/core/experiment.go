@@ -42,6 +42,19 @@ type Experiment struct {
 	TimelineInterval sim.Time
 	// Kinds restricts measurement to these op kinds (nil = all).
 	Kinds []workload.OpKind
+	// Recorder, when non-nil, receives the aggregated Result as soon
+	// as the experiment's last run completes — the hook a results
+	// warehouse attaches to. Sweeps propagate the template's Recorder
+	// to every point. A recording error aborts the job: an archive
+	// that silently drops runs is worse than no archive.
+	Recorder Recorder
+}
+
+// Recorder consumes completed Results. Implementations must be safe
+// for concurrent use: a Runner executing pooled experiments invokes
+// the hook from worker goroutines as each experiment finishes.
+type Recorder interface {
+	RecordResult(*Result) error
 }
 
 // RunMeasure is one run's outcome.

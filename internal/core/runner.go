@@ -138,7 +138,6 @@ func (r Runner) runAll(exps []*Experiment, xs []float64) ([]*Result, error) {
 			return err
 		}
 		mu.Lock()
-		defer mu.Unlock()
 		perRun[jb.point][jb.run] = m
 		done++
 		remaining[jb.point]--
@@ -146,15 +145,25 @@ func (r Runner) runAll(exps []*Experiment, xs []float64) ([]*Result, error) {
 		if xs != nil {
 			ev.X = xs[jb.point]
 		}
+		var finished *Result
 		if remaining[jb.point] == 0 {
 			// Aggregation consumes runs in index order, so the result
 			// does not depend on completion order.
 			results[jb.point] = e.aggregate(perRun[jb.point])
+			finished = results[jb.point]
 			ev.PointDone = true
-			ev.Flags = results[jb.point].Flags
+			ev.Flags = finished.Flags
 		}
 		if r.Progress != nil {
 			r.Progress(ev)
+		}
+		mu.Unlock()
+		// Record outside the progress lock: recorders do I/O (append
+		// to a warehouse) and synchronize internally.
+		if finished != nil && e.Recorder != nil {
+			if err := e.Recorder.RecordResult(finished); err != nil {
+				return fmt.Errorf("core: experiment %q: recording result: %w", e.Name, err)
+			}
 		}
 		return nil
 	})

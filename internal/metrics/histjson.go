@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON serialization for Histogram, so a results warehouse can
+// persist full distributions, not just summary rows. The wire form
+// stores only non-empty buckets as [index, count] pairs: most
+// histograms occupy a handful of the 33 log2 buckets, and the sparse
+// form keeps archived run-sets compact without losing a single
+// observation.
+
+// histJSON is the wire form.
+type histJSON struct {
+	Count   int64      `json:"count"`
+	Sum     int64      `json:"sum"`
+	Min     int64      `json:"min"`
+	Max     int64      `json:"max"`
+	Buckets [][2]int64 `json:"buckets,omitempty"` // [bucket index, count]
+}
+
+// MarshalJSON encodes the histogram in the sparse wire form.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	wire := histJSON{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for b, c := range h.buckets {
+		if c != 0 {
+			wire.Buckets = append(wire.Buckets, [2]int64{int64(b), c})
+		}
+	}
+	return json.Marshal(wire)
+}
+
+// UnmarshalJSON decodes the sparse wire form, validating that bucket
+// indices are in range and that the per-bucket counts add up to the
+// recorded total — a corrupt archive line should fail loudly, not
+// skew a baseline.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var wire histJSON
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return err
+	}
+	next := Histogram{count: wire.Count, sum: wire.Sum, min: wire.Min, max: wire.Max}
+	var total int64
+	for _, bc := range wire.Buckets {
+		b, c := bc[0], bc[1]
+		if b < 0 || b >= NumBuckets {
+			return fmt.Errorf("metrics: histogram bucket index %d out of range", b)
+		}
+		if c < 0 {
+			return fmt.Errorf("metrics: histogram bucket %d has negative count %d", b, c)
+		}
+		next.buckets[b] += c
+		total += c
+	}
+	if total != wire.Count {
+		return fmt.Errorf("metrics: histogram bucket counts sum to %d, header says %d", total, wire.Count)
+	}
+	*h = next
+	return nil
+}

@@ -71,6 +71,9 @@ func (h *Histogram) Record(d sim.Time) {
 // Count reports total observations.
 func (h *Histogram) Count() int64 { return h.count }
 
+// Sum reports the total of all observations in nanoseconds.
+func (h *Histogram) Sum() int64 { return h.sum }
+
 // Mean reports the mean latency in nanoseconds (0 if empty).
 func (h *Histogram) Mean() float64 {
 	if h.count == 0 {

@@ -93,6 +93,10 @@ type Config struct {
 	// Parallelism bounds concurrent runs within each evaluation and
 	// concurrent points within SweepParam; <= 0 means GOMAXPROCS.
 	Parallelism int
+	// Recorder, when non-nil, archives every evaluation's Result
+	// (see core.Experiment.Recorder) — cliff searches probe many
+	// points, and each probe is a real measured run worth keeping.
+	Recorder core.Recorder
 }
 
 // Evaluate measures ops/sec at one parameter point.
@@ -106,6 +110,7 @@ func Evaluate(cfg Config, p Params) (float64, error) {
 		MeasureWindow: cfg.Window,
 		Seed:          cfg.Seed,
 		Parallelism:   cfg.Parallelism,
+		Recorder:      cfg.Recorder,
 	}
 	res, err := exp.Run()
 	if err != nil {

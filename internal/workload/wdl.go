@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -126,6 +127,14 @@ func ParseWDL(r io.Reader) (*Workload, error) {
 					return nil, errf("attribute %s: %v", k, err)
 				}
 			}
+			// A closed loop ignores rate and burst, and only burst
+			// arrivals use burst; drop the inert attributes so the parsed
+			// form is canonical and parse→format→parse is the identity.
+			if !th.Arrival.Open() {
+				th.Arrival = Arrival{}
+			} else if th.Arrival.Kind != ArrivalBurst {
+				th.Arrival.Burst = 0
+			}
 			curThread = &th
 		default:
 			return nil, errf("unknown directive %q", fields[0])
@@ -203,11 +212,14 @@ func ParseSize(s string) (int64, error) {
 		mult, s = 1<<30, s[:len(s)-1]
 	}
 	n, err := strconv.ParseFloat(s, 64)
-	if err != nil {
+	if err != nil || math.IsNaN(n) {
 		return 0, fmt.Errorf("bad size %q", s)
 	}
 	if n < 0 {
 		return 0, fmt.Errorf("negative size")
+	}
+	if n*float64(mult) >= float64(math.MaxInt64) {
+		return 0, fmt.Errorf("size %q overflows", s)
 	}
 	return int64(n * float64(mult)), nil
 }
@@ -220,7 +232,8 @@ func ParseDuration(s string) (sim.Time, error) {
 	}{{"ns", sim.Nanosecond}, {"us", sim.Microsecond}, {"ms", sim.Millisecond}, {"s", sim.Second}} {
 		if strings.HasSuffix(s, suf.name) {
 			n, err := strconv.ParseFloat(strings.TrimSuffix(s, suf.name), 64)
-			if err != nil || n < 0 {
+			if err != nil || math.IsNaN(n) || n < 0 ||
+				n*float64(suf.mult) >= float64(math.MaxInt64) {
 				return 0, fmt.Errorf("bad duration %q", s)
 			}
 			return sim.Time(n * float64(suf.mult)), nil
@@ -260,7 +273,7 @@ func FormatWDL(w *Workload) string {
 			if op.IOSize > 0 {
 				fmt.Fprintf(&sb, " iosize=%d", op.IOSize)
 			}
-			if op.Iters > 1 {
+			if op.Iters >= 1 {
 				fmt.Fprintf(&sb, " iters=%d", op.Iters)
 			}
 			if op.Zipf {

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzWDLRoundTrip drives ParseWDL/FormatWDL with arbitrary text: any
+// input the parser accepts must survive parse→format→parse with an
+// identical in-memory form, and formatting must be a fixed point.
+// This is the disclosure guarantee behind checking .wdl files into a
+// results archive — the text on disk and the workload that ran are
+// interchangeable.
+func FuzzWDLRoundTrip(f *testing.F) {
+	// Seed with every shipped personality, so the corpus starts at the
+	// full grammar the stock workloads exercise.
+	for _, name := range Personalities() {
+		w, ok := ByName(name)
+		if !ok {
+			f.Fatalf("personality %q missing", name)
+		}
+		f.Add(FormatWDL(w))
+	}
+	// Hand seeds for the attributes personalities don't cover: pareto
+	// sizes, burst arrivals, iters=1, and inert rate/burst attributes
+	// the parser canonicalizes away.
+	f.Add("workload w\n" +
+		"fileset d dir=/d entries=4 size=4k prealloc=0.5 pareto=1.5\n" +
+		"thread t count=2 overhead=1us arrival=burst rate=10 burst=4 {\n" +
+		"    read-rand fileset=d iosize=2k iters=1 zipf=true\n" +
+		"}\n")
+	f.Add("workload w\n" +
+		"fileset d dir=/d entries=1 size=1m prealloc=1\n" +
+		"thread t count=1 overhead=96us rate=50 burst=9 {\n" +
+		"    read-seq fileset=d iosize=64k\n" +
+		"    think 10ms\n" +
+		"}\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		w, err := ParseWDL(strings.NewReader(src))
+		if err != nil {
+			t.Skip()
+		}
+		text := FormatWDL(w)
+		w2, err := ParseWDL(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("reparse of formatted output failed: %v\noutput:\n%s", err, text)
+		}
+		if !reflect.DeepEqual(w, w2) {
+			t.Fatalf("parse(format(w)) != w\nfirst:  %+v\nsecond: %+v\ntext:\n%s", w, w2, text)
+		}
+		if text2 := FormatWDL(w2); text2 != text {
+			t.Fatalf("format not a fixed point:\nfirst:\n%s\nsecond:\n%s", text, text2)
+		}
+	})
+}

@@ -13,6 +13,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/sim"
 )
@@ -203,6 +204,14 @@ func (w *Workload) Validate() error {
 		if fsSet.Name == "" || fsSet.Entries <= 0 || fsSet.MeanSize < 0 {
 			return fmt.Errorf("workload %s: bad fileset %+v", w.Name, fsSet)
 		}
+		if math.IsNaN(fsSet.PreallocFrac) || fsSet.PreallocFrac < 0 || fsSet.PreallocFrac > 1 {
+			return fmt.Errorf("workload %s: fileset %q prealloc %v outside [0,1]",
+				w.Name, fsSet.Name, fsSet.PreallocFrac)
+		}
+		if math.IsNaN(fsSet.ParetoAlpha) || math.IsInf(fsSet.ParetoAlpha, 0) || fsSet.ParetoAlpha < 0 {
+			return fmt.Errorf("workload %s: fileset %q pareto alpha %v",
+				w.Name, fsSet.Name, fsSet.ParetoAlpha)
+		}
 		if sets[fsSet.Name] {
 			return fmt.Errorf("workload %s: duplicate fileset %q", w.Name, fsSet.Name)
 		}
@@ -225,8 +234,8 @@ func (w *Workload) Validate() error {
 				w.Name, th.Name, int(th.Arrival.Kind))
 		}
 		if th.Arrival.Open() {
-			if !(th.Arrival.Rate > 0) {
-				return fmt.Errorf("workload %s: thread %q %s arrivals need rate > 0, got %v",
+			if !(th.Arrival.Rate > 0) || math.IsInf(th.Arrival.Rate, 0) {
+				return fmt.Errorf("workload %s: thread %q %s arrivals need a finite rate > 0, got %v",
 					w.Name, th.Name, th.Arrival.Kind, th.Arrival.Rate)
 			}
 			if th.Arrival.Kind == ArrivalBurst && th.Arrival.Burst < 1 {
@@ -243,6 +252,9 @@ func (w *Workload) Validate() error {
 			}
 		}
 		for _, op := range th.Flowops {
+			if op.Iters < 0 {
+				return fmt.Errorf("workload %s: flowop %v with iters %d", w.Name, op.Kind, op.Iters)
+			}
 			if op.Kind == OpThink {
 				continue
 			}
