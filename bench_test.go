@@ -412,11 +412,12 @@ func BenchmarkMultiLevelCacheSteps(b *testing.B) {
 // NVMe device (4 channels). The metrics are the depth-32 throughput
 // gain and its p99 latency cost per device.
 func BenchmarkContention(b *testing.B) {
-	run := func(b *testing.B, dev string, depth, i int) (tp, p99ms float64) {
+	run := func(b *testing.B, dev string, depth, shards, i int) (tp, p99ms float64) {
 		stack := benchStack()
 		stack.OSReserveJitter = 0
 		stack.Scheduler = "ncq"
 		stack.QueueDepth = depth
+		stack.Shards = shards
 		duration, window := 15*Second, 5*Second
 		if dev == "nvme" {
 			stack.Device = "nvme"
@@ -449,12 +450,68 @@ func BenchmarkContention(b *testing.B) {
 			b.Run(fmt.Sprintf("dev=%s/qd=%d", dev, depth), func(b *testing.B) {
 				var tp, p99 float64
 				for i := 0; i < b.N; i++ {
-					tp, p99 = run(b, dev, depth, i)
+					tp, p99 = run(b, dev, depth, 1, i)
 				}
 				b.ReportMetric(tp, "ops/s")
 				b.ReportMetric(p99, "p99-ms")
 			})
 		}
+	}
+	// Sharded-kernel legs: the qd=32 contention run again on 4
+	// event-loop shards (4 replica stacks, 4 threads each), so the
+	// bench artifacts track the parallel kernel's wall-clock cost per
+	// device model. The per-run throughput differs from the shards=1
+	// legs by design — 4 replica devices serve 4x the aggregate — so
+	// the interesting series here is ns/op, not ops/s.
+	for _, dev := range []string{"hdd", "nvme"} {
+		dev := dev
+		b.Run(fmt.Sprintf("dev=%s/qd=32/shards=4", dev), func(b *testing.B) {
+			var tp, p99 float64
+			for i := 0; i < b.N; i++ {
+				tp, p99 = run(b, dev, 32, 4, i)
+			}
+			b.ReportMetric(tp, "ops/s")
+			b.ReportMetric(p99, "p99-ms")
+		})
+	}
+	// Backlog-drain legs: the thread-count-driven regime the sharded
+	// kernel exists for (ROADMAP's 10k-1M virtual threads). 100k cold
+	// closed-loop readers each submit a miss at t=0 and the run is the
+	// drain of that backlog, so total event work is O(threads) and
+	// partitions cleanly across shards: wall-clock ns/op is the
+	// speedup metric (≥2x at shards=4 needs GOMAXPROCS >= 2; on a
+	// 1-CPU box the shards serialize and ns/op only tracks the
+	// smaller per-shard event heaps).
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("threads=100k/shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				stack := benchStack()
+				stack.OSReserveJitter = 0
+				stack.Scheduler = "ncq"
+				stack.QueueDepth = 32
+				stack.Shards = shards
+				exp := &Experiment{
+					Name:     "contention-100k",
+					Stack:    stack,
+					Workload: MixedRegions(4, 25000, 0, 256<<20, 2<<10),
+					Runs:     1,
+					// One virtual second of issue; the O(threads)
+					// backlog drain past `until` dominates the run.
+					Duration:  Second,
+					ColdCache: true,
+					Seed:      uint64(i) + 31,
+					Kinds:     []OpKind{workload.OpReadRand},
+				}
+				res, err := exp.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.PerRun[0].Ops == 0 {
+					b.Fatal("100k-thread run measured no ops")
+				}
+			}
+		})
 	}
 	// Open-loop leg: Poisson arrivals just past the disk's closed-loop
 	// saturation (~150 ops/s on this scaled stack), short virtual

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	fsbench "repro"
@@ -48,12 +50,40 @@ func main() {
 		cold         = flag.Bool("cold", false, "drop caches after setup (cold start)")
 		seed         = flag.Uint64("seed", 1, "base seed")
 		parallel     = flag.Int("parallel", 0, "concurrent runs, 0 = GOMAXPROCS (results are identical at any setting)")
+		shards       = flag.Int("shards", 1, "event-loop shards per run; >1 models N replica stacks each serving 1/N of the threads (see DESIGN.md §9)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		warehouseDir = flag.String("warehouse", "", "archive the full result (per-run samples and histograms) to this results-warehouse directory")
 		progress     = flag.Bool("progress", true, "report per-run progress on stderr")
 		list         = flag.Bool("list", false, "list stock personalities and exit")
 		showHist     = flag.Bool("hist", true, "print the latency histogram")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("stock personalities:")
@@ -101,6 +131,7 @@ func main() {
 		Scheduler:       *sched,
 		Readahead:       *readahead,
 		L2Bytes:         *l2MB << 20,
+		Shards:          *shards,
 	}
 
 	fmt.Printf("workload: %s\nstack:    %s\n", w.Name, stack)

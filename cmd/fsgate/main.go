@@ -82,23 +82,24 @@ func main() {
 		alpha    = flag.Float64("alpha", 0.01, "family-wise significance level per leg")
 		update   = flag.Bool("update", false, "re-record the baseline instead of gating")
 		parallel = flag.Int("parallel", 0, "concurrent runs, 0 = GOMAXPROCS (results are identical at any setting)")
+		shards   = flag.Int("shards", 1, "event-loop shards per run; fingerprints ignore the setting, so sharded candidates still gate against the committed baseline (see DESIGN.md §9)")
 	)
 	flag.Parse()
 
 	if *update {
-		if err := recordBaseline(*baseline, *parallel); err != nil {
+		if err := recordBaseline(*baseline, *parallel, *shards); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	if err := runGate(*baseline, *record, *alpha, *parallel); err != nil {
+	if err := runGate(*baseline, *record, *alpha, *parallel, *shards); err != nil {
 		fatal(err)
 	}
 }
 
 // replay runs every leg at the given base seed, archiving into dir,
 // and returns the archived set.
-func replay(dir string, seed uint64, parallel int) (warehouse.Set, error) {
+func replay(dir string, seed uint64, parallel, shards int) (warehouse.Set, error) {
 	st, err := warehouse.Open(dir)
 	if err != nil {
 		return nil, err
@@ -106,6 +107,7 @@ func replay(dir string, seed uint64, parallel int) (warehouse.Set, error) {
 	defer st.Close()
 	st.GitRev = warehouse.GitRev()
 	for _, l := range legs() {
+		l.stack.Shards = shards
 		exp := &fsbench.Experiment{
 			Name:          l.name,
 			Stack:         l.stack,
@@ -131,14 +133,14 @@ func replay(dir string, seed uint64, parallel int) (warehouse.Set, error) {
 
 // recordBaseline replays the legs at the baseline seed and replaces
 // the baseline archive file.
-func recordBaseline(path string, parallel int) error {
+func recordBaseline(path string, parallel, shards int) error {
 	tmp, err := os.MkdirTemp("", "fsgate-baseline-*")
 	if err != nil {
 		return err
 	}
 	defer os.RemoveAll(tmp)
 	fmt.Fprintf(os.Stderr, "recording baseline (seed %d, %d runs per leg)\n", baselineSeed, gateRuns)
-	if _, err := replay(tmp, baselineSeed, parallel); err != nil {
+	if _, err := replay(tmp, baselineSeed, parallel, shards); err != nil {
 		return err
 	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -157,7 +159,7 @@ func recordBaseline(path string, parallel int) error {
 
 // runGate replays the candidate legs and gates each against the
 // baseline archive, exiting non-zero on any regression.
-func runGate(baselinePath, recordDir string, alpha float64, parallel int) error {
+func runGate(baselinePath, recordDir string, alpha float64, parallel, shards int) error {
 	base, err := warehouse.LoadFile(baselinePath)
 	if err != nil {
 		return fmt.Errorf("loading baseline (run with -update to create it): %w", err)
@@ -171,7 +173,7 @@ func runGate(baselinePath, recordDir string, alpha float64, parallel int) error 
 		recordDir = tmp
 	}
 	fmt.Fprintf(os.Stderr, "replaying candidate legs (seed %d, %d runs per leg)\n", candidateSeed, gateRuns)
-	cand, err := replay(recordDir, candidateSeed, parallel)
+	cand, err := replay(recordDir, candidateSeed, parallel, shards)
 	if err != nil {
 		return err
 	}

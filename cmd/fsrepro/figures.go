@@ -30,12 +30,23 @@ type Protocol struct {
 	// Recorder, when non-nil, archives every figure's measured runs
 	// (full per-run samples and histograms) — the -warehouse flag.
 	Recorder fsbench.Recorder
+	// Shards is the event-loop shard count stamped onto every
+	// figure's stack — an execution knob like Parallelism, excluded
+	// from warehouse fingerprints (DESIGN.md §9).
+	Shards int
 	// Tiny shrinks the figures that hard-code their own sweeps
 	// (contention, qdsweep, openloop) to a couple of points at the
 	// protocol's durations. The output is still deterministic for a
 	// given seed — the golden-file tests depend on that — but the
 	// numbers are smoke-scale, not the paper's.
 	Tiny bool
+}
+
+// stack stamps the protocol's execution knobs onto a figure's base
+// stack, so -shards rides through every figure uniformly.
+func (p Protocol) stack(s fsbench.StackConfig) fsbench.StackConfig {
+	s.Shards = p.Shards
+	return s
 }
 
 // sweepProgress prints a stderr line as each sweep point completes.
@@ -85,7 +96,7 @@ func csvTo(w io.Writer, headers []string, rows [][]string) error {
 // paper stack, reporting throughput and relative standard deviation.
 func figure1(proto Protocol) error {
 	fmt.Println("=== Figure 1: Ext2 random-read throughput and relative std dev vs file size ===")
-	stack := fsbench.PaperStack()
+	stack := proto.stack(fsbench.PaperStack())
 	var sizes []int64
 	for mb := int64(64); mb <= 1024; mb += 64 {
 		sizes = append(sizes, mb<<20)
@@ -206,7 +217,7 @@ func figure1(proto Protocol) error {
 // MB by self-scaling search.
 func figure1zoom(proto Protocol) error {
 	fmt.Println("=== Figure 1 zoom (§3.1): localizing the cliff ===")
-	stack := fsbench.PaperStack()
+	stack := proto.stack(fsbench.PaperStack())
 	cfg := fsbench.SelfScaleConfig{
 		Stack: stack,
 		Runs:  1,
@@ -247,7 +258,7 @@ func figure2(proto Protocol) error {
 	fsNames := []string{"ext2", "ext3", "xfs"}
 	exps := make([]*fsbench.Experiment, len(fsNames))
 	for i, fsName := range fsNames {
-		stack := fsbench.PaperStack()
+		stack := proto.stack(fsbench.PaperStack())
 		stack.FS = fsName
 		stack.OSReserveJitter = 0 // one run per system, as in the paper
 		exps[i] = &fsbench.Experiment{
@@ -322,7 +333,7 @@ func figure3(proto Protocol) error {
 	for i, size := range sizes {
 		exps[i] = &fsbench.Experiment{
 			Name:          fmt.Sprintf("fig3-%dMB", size>>20),
-			Stack:         fsbench.PaperStack(),
+			Stack:         proto.stack(fsbench.PaperStack()),
 			Workload:      fsbench.RandomRead(size, 2<<10, 1),
 			Runs:          1,
 			Duration:      proto.Duration,
@@ -368,7 +379,7 @@ func figure3(proto Protocol) error {
 // ext2, cold start, snapshots every 10 s for 280 s.
 func figure4(proto Protocol) error {
 	fmt.Println("=== Figure 4: latency histograms by time (Ext2, 256 MB file, cold cache) ===")
-	stack := fsbench.PaperStack()
+	stack := proto.stack(fsbench.PaperStack())
 	stack.OSReserveJitter = 0
 	exp := &fsbench.Experiment{
 		Name:             "fig4",
@@ -446,7 +457,7 @@ func figureContention(proto Protocol) error {
 	}
 	var curves []depthCurve
 	for _, depth := range []int{1, 32} {
-		stack := fsbench.PaperStack()
+		stack := proto.stack(fsbench.PaperStack())
 		stack.Scheduler = "ncq"
 		stack.QueueDepth = depth
 		sweep := fsbench.ThreadCountSweep(stack, mk, counts, proto.Runs,
@@ -550,12 +561,12 @@ func figureFairness(proto Protocol) error {
 		// Scaled testbed: data on half the disk so the stripes cost
 		// real seeks, readahead off so the queue holds exactly the
 		// threads' demand reads (prefetch would smear attribution).
-		stack := fsbench.StackConfig{
+		stack := proto.stack(fsbench.StackConfig{
 			FS: "ext2", Device: "hdd", DiskBytes: 512 << 20,
 			RAMBytes: 64 << 20, OSReserveBytes: 13 << 20,
 			CachePolicy: "lru", Readahead: "none",
 			Scheduler: sched,
-		}
+		})
 		exp := &fsbench.Experiment{
 			Name:          "fairness-" + sched,
 			Stack:         stack,
@@ -686,12 +697,12 @@ func figureQDSweep(proto Protocol) error {
 	for _, d := range devices {
 		c := curve{label: d.label}
 		for _, qd := range depths {
-			stack := fsbench.StackConfig{
+			stack := proto.stack(fsbench.StackConfig{
 				FS: "ext2", Device: d.device, NVMeChannels: d.channels,
 				DiskBytes: 8 << 30, RAMBytes: 64 << 20, OSReserveBytes: 13 << 20,
 				OSReserveJitter: 1 << 20, CachePolicy: "lru",
 				Scheduler: "ncq", QueueDepth: qd,
-			}
+			})
 			runs, dur, win := proto.Runs, proto.Duration, proto.Window
 			if d.device == "nvme" && !proto.Tiny {
 				// The NVMe device is ~100x faster than the disk, so the
@@ -793,11 +804,11 @@ func figureQDSweep(proto Protocol) error {
 func figureOpenLoop(proto Protocol) error {
 	fmt.Println("=== Open-loop figure: closed vs open arrivals across offered load ===")
 	const workers = 16
-	stack := fsbench.StackConfig{
+	stack := proto.stack(fsbench.StackConfig{
 		FS: "ext2", Device: "hdd", DiskBytes: 8 << 30,
 		RAMBytes: 64 << 20, OSReserveBytes: 13 << 20,
 		CachePolicy: "lru", Scheduler: "ncq",
-	}
+	})
 	// Disk-bound 2 KB random reads saturate the disk at ~10^2 ops/s,
 	// so fixed short durations keep every point cheap while still
 	// completing thousands of ops; more runs would only tighten CIs

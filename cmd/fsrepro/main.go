@@ -35,6 +35,7 @@ func main() {
 		out       = flag.String("out", "results", "directory for CSV data files")
 		seed      = flag.Uint64("seed", 1, "base seed")
 		parallel  = flag.Int("parallel", 0, "concurrent runs, 0 = GOMAXPROCS (results are identical at any setting)")
+		shards    = flag.Int("shards", 1, "event-loop shards per run; >1 models N replica stacks (see DESIGN.md §9)")
 		warehouse = flag.String("warehouse", "", "archive every figure's measured runs to this results-warehouse directory")
 	)
 	flag.Parse()
@@ -49,6 +50,7 @@ func main() {
 	proto.Seed = *seed
 	proto.OutDir = *out
 	proto.Parallelism = *parallel
+	proto.Shards = *shards
 	if *warehouse != "" {
 		st, err := openWarehouse(*warehouse)
 		if err != nil {

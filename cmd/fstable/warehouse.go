@@ -90,17 +90,32 @@ func listSets(set warehouse.Set) error {
 	sort.Strings(keys)
 	t := &report.Table{
 		Title:   fmt.Sprintf("%d records, %d runs", len(set), set.Runs()),
-		Headers: []string{"name", "config", "stack", "arrival", "records", "runs", "ops/s mean", "revs"},
+		Headers: []string{"name", "config", "stack", "arrival", "shards", "records", "runs", "ops/s mean", "revs"},
 	}
 	for _, k := range keys {
 		g := groups[k]
 		r := g[0]
 		revs := map[string]bool{}
+		shardSet := map[int]bool{}
 		for _, rec := range g {
 			if rec.GitRev != "" {
 				revs[rec.GitRev] = true
 			}
+			// Records pooled under one fingerprint may have run at
+			// different shard counts (the knob is execution metadata,
+			// not configuration): surface every count in the group.
+			s := rec.Shards
+			if s <= 0 {
+				s = 1
+			}
+			shardSet[s] = true
 		}
+		shardCounts := make([]int, 0, len(shardSet))
+		for s := range shardSet {
+			shardCounts = append(shardCounts, s)
+		}
+		sort.Ints(shardCounts)
+		shardCol := strings.Trim(strings.Join(strings.Fields(fmt.Sprint(shardCounts)), ","), "[]")
 		tp := g.Throughputs()
 		mean := 0.0
 		for _, v := range tp {
@@ -114,6 +129,7 @@ func listSets(set warehouse.Set) error {
 			r.Fingerprint[:12],
 			fmt.Sprintf("%s/%s/%s", r.FS, r.Device, r.Scheduler),
 			r.Arrival,
+			shardCol,
 			fmt.Sprintf("%d", len(g)),
 			fmt.Sprintf("%d", g.Runs()),
 			fmt.Sprintf("%.0f", mean),

@@ -71,6 +71,17 @@ type StackConfig struct {
 	// standard deviation.
 	CPUNoiseFrac float64
 
+	// Shards splits the simulation kernel: 0 or 1 runs today's single
+	// event loop (byte-for-byte unchanged); N>1 partitions the
+	// workload's threads across N parallel event-loop shards, each
+	// owning a complete stack replica, synchronized by conservative
+	// time windows (DESIGN.md §9). Results stay deterministic for a
+	// fixed (config, seed, Shards), but N>1 models N replica stacks
+	// rather than one shared device — Shards is an execution knob
+	// recorded in warehouse metadata, excluded from the config
+	// fingerprint like Parallelism.
+	Shards int
+
 	// VFS tunes software costs; zero value means vfs.DefaultConfig.
 	VFS *vfs.Config
 }
@@ -219,9 +230,13 @@ func (c StackConfig) String() string {
 	if depth <= 0 {
 		depth = device.DefaultQueueDepth
 	}
-	return fmt.Sprintf("%s/%s ram=%dMB reserve=%d±%dMB policy=%s sched=%s qd=%d",
+	s := fmt.Sprintf("%s/%s ram=%dMB reserve=%d±%dMB policy=%s sched=%s qd=%d",
 		fsName, dev, c.RAMBytes>>20, c.OSReserveBytes>>20, c.OSReserveJitter>>20,
 		orDefault(c.CachePolicy, "lru"), orDefault(c.Scheduler, device.DefaultScheduler), depth)
+	if c.Shards > 1 {
+		s += fmt.Sprintf(" shards=%d", c.Shards)
+	}
+	return s
 }
 
 func orDefault(s, def string) string {

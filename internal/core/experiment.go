@@ -6,6 +6,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/vfs"
 	"repro/internal/workload"
 )
 
@@ -193,13 +194,42 @@ func (e *Experiment) kindSet() map[workload.OpKind]bool {
 	return set
 }
 
+// engineRunner is the per-run execution surface runOnce drives —
+// satisfied by both workload.Engine (Shards <= 1) and
+// workload.ShardedEngine (Shards > 1).
+type engineRunner interface {
+	Setup(at sim.Time) (sim.Time, error)
+	DropCaches()
+	SetProbe(p *workload.Probe)
+	Run(from, until sim.Time) (sim.Time, error)
+	Load() metrics.LoadGauge
+	Counter() metrics.Counter
+}
+
 // runOnce builds a fresh stack, sets up the workload, and measures
-// one run.
+// one run. With Stack.Shards > 1 it builds one stack replica per
+// shard and runs the partitioned engine; the single-shard path is
+// unchanged, including its RNG consumption order, so Shards <= 1
+// results are bit-identical to the pre-sharding kernel.
 func (e *Experiment) runOnce(seed uint64) (RunMeasure, error) {
 	rng := sim.NewRNG(seed)
-	mount, err := e.Stack.Build(rng)
-	if err != nil {
-		return RunMeasure{}, err
+	shards := e.Stack.Shards
+	var mounts []*vfs.Mount
+	if shards > 1 {
+		mounts = make([]*vfs.Mount, shards)
+		for i := range mounts {
+			m, err := e.Stack.Build(rng.Split())
+			if err != nil {
+				return RunMeasure{}, err
+			}
+			mounts[i] = m
+		}
+	} else {
+		m, err := e.Stack.Build(rng)
+		if err != nil {
+			return RunMeasure{}, err
+		}
+		mounts = []*vfs.Mount{m}
 	}
 	// Per-run CPU noise: scale the tool's per-op overhead, modeling
 	// run-to-run host variation even for fully cached workloads.
@@ -213,7 +243,13 @@ func (e *Experiment) runOnce(seed uint64) (RunMeasure, error) {
 		}
 		w = &w2
 	}
-	eng, err := workload.NewEngine(mount, w, rng.Uint64())
+	var eng engineRunner
+	var err error
+	if shards > 1 {
+		eng, err = workload.NewShardedEngine(mounts, w, rng.Uint64())
+	} else {
+		eng, err = workload.NewEngine(mounts[0], w, rng.Uint64())
+	}
 	if err != nil {
 		return RunMeasure{}, err
 	}
@@ -224,7 +260,13 @@ func (e *Experiment) runOnce(seed uint64) (RunMeasure, error) {
 	if e.ColdCache {
 		eng.DropCaches()
 	}
-	mount.ResetStats()
+	var cacheBytes int64
+	for _, m := range mounts {
+		m.ResetStats()
+		// Report the total cache the run drew — summed over shard
+		// replicas, each of which drew its own OS-reserve jitter.
+		cacheBytes += int64(m.PC.L1.Capacity()) * 4096
+	}
 
 	seriesInterval := e.SeriesInterval
 	if seriesInterval <= 0 {
@@ -232,7 +274,7 @@ func (e *Experiment) runOnce(seed uint64) (RunMeasure, error) {
 	}
 	m := RunMeasure{
 		Seed:       seed,
-		CacheBytes: int64(mount.PC.L1.Capacity()) * 4096,
+		CacheBytes: cacheBytes,
 		Hist:       &metrics.Histogram{},
 		Series:     metrics.NewTimeSeriesOffset(seriesInterval, start),
 		PerOwner:   &metrics.PerOwner{},
@@ -261,7 +303,17 @@ func (e *Experiment) runOnce(seed uint64) (RunMeasure, error) {
 	// the tail.
 	m.Ops = countOpsSince(m.Series, e.Duration-window)
 	m.Throughput = float64(m.Ops) / window.Seconds()
-	m.HitRatio = mount.PC.L1.Stats().HitRatio()
+	// Pool the hit ratio over shard caches (a single mount reduces to
+	// its own ratio).
+	var hits, misses int64
+	for _, mt := range mounts {
+		st := mt.PC.L1.Stats()
+		hits += st.Hits
+		misses += st.Misses
+	}
+	if total := hits + misses; total > 0 {
+		m.HitRatio = float64(hits) / float64(total)
+	}
 	m.Load = eng.Load()
 	m.Errors = eng.Counter().Errors
 	return m, nil

@@ -104,6 +104,23 @@ func (s QueueStats) MeanWait() sim.Time {
 	return s.Wait / sim.Time(s.Completed)
 }
 
+// Merge folds another queue's counters in: counts and waits add, the
+// high-water mark takes the worst queue's. Sharded runs use it to
+// report one aggregate over per-shard device queues; owner entries
+// never collide there because thread owner IDs are global.
+func (s *QueueStats) Merge(other QueueStats) {
+	s.Submitted += other.Submitted
+	s.Completed += other.Completed
+	s.Errors += other.Errors
+	if other.MaxQueued > s.MaxQueued {
+		s.MaxQueued = other.MaxQueued
+	}
+	s.Wait += other.Wait
+	for owner, o := range other.PerOwner {
+		s.ownerAdd(owner, o.Wait, o.Completed)
+	}
+}
+
 // Owners returns the requester identities present in PerOwner in
 // ascending order, so reporting surfaces iterate deterministically.
 func (s QueueStats) Owners() []int {
@@ -189,7 +206,7 @@ func (q *Queue) Submit(at sim.Time, req Request, done func(sim.Time, error)) {
 	if now := q.loop.Now(); at < now {
 		at = now
 	}
-	r := &IORequest{Req: req, At: at, Seq: q.seq, Done: done}
+	r := &IORequest{Req: req, At: at, Seq: q.seq, Done: done, queue: q}
 	q.seq++
 	q.stats.Submitted++
 	if q.sched.Len() < q.depth {
@@ -245,7 +262,7 @@ func (q *Queue) dispatch(now sim.Time) {
 		q.stats.ownerAdd(r.Req.Owner, now-r.At, 0)
 		q.inflight++
 		q.head = r.Req.LBA + r.Req.Sectors
-		q.loop.Schedule(done, func() { q.complete(r, nil) })
+		q.loop.ScheduleTarget(done, r)
 	}
 }
 

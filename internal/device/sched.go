@@ -18,7 +18,18 @@ type IORequest struct {
 	Seq uint64
 	// Done, when non-nil, is invoked at the request's completion time.
 	Done func(done sim.Time, err error)
+
+	// queue is the owning Queue, set at submission. It lets the
+	// request itself be the scheduled completion event (sim.EventTarget)
+	// so the dispatch hot path allocates no closure per request.
+	queue *Queue
 }
+
+// RunEvent implements sim.EventTarget: the request's service has
+// ended, complete it successfully. Rejection completions (device
+// errors at dispatch) carry an error value and still go through a
+// closure — they are off the hot path.
+func (r *IORequest) RunEvent() { r.queue.complete(r, nil) }
 
 // Scheduler picks the service order of queued requests. The Queue
 // pushes every admitted request and pops one whenever the device goes

@@ -37,6 +37,30 @@ func NewTimeSeriesOffset(interval, start sim.Time) *TimeSeries {
 // Interval reports the bucket width.
 func (ts *TimeSeries) Interval() sim.Time { return ts.interval }
 
+// Offset reports the virtual time of bucket 0's start.
+func (ts *TimeSeries) Offset() sim.Time { return ts.offset }
+
+// Merge adds another series' buckets in, panicking on mismatched
+// interval or offset — merging misaligned curves would silently shear
+// time. Sharded runs merge per-shard series recorded against one
+// common origin.
+func (ts *TimeSeries) Merge(other *TimeSeries) {
+	if other == nil {
+		return
+	}
+	if other.interval != ts.interval || other.offset != ts.offset {
+		panic("metrics: merging misaligned time series")
+	}
+	for len(ts.counts) < len(other.counts) {
+		ts.counts = append(ts.counts, 0)
+		ts.values = append(ts.values, 0)
+	}
+	for i := range other.counts {
+		ts.counts[i] += other.counts[i]
+		ts.values[i] += other.values[i]
+	}
+}
+
 // Add records one event (weight value) at virtual time t.
 func (ts *TimeSeries) Add(t sim.Time, value float64) {
 	t -= ts.offset
@@ -155,6 +179,26 @@ func (tl *HistogramTimeline) At(i int) *Histogram {
 
 // Interval reports the snapshot width.
 func (tl *HistogramTimeline) Interval() sim.Time { return tl.interval }
+
+// Offset reports the virtual time of snapshot 0's start.
+func (tl *HistogramTimeline) Offset() sim.Time { return tl.offset }
+
+// Merge folds another timeline's snapshots in, interval by interval,
+// panicking on mismatched interval or offset like TimeSeries.Merge.
+func (tl *HistogramTimeline) Merge(other *HistogramTimeline) {
+	if other == nil {
+		return
+	}
+	if other.interval != tl.interval || other.offset != tl.offset {
+		panic("metrics: merging misaligned histogram timelines")
+	}
+	for len(tl.hists) < len(other.hists) {
+		tl.hists = append(tl.hists, &Histogram{})
+	}
+	for i, h := range other.hists {
+		tl.hists[i].Merge(h)
+	}
+}
 
 // Merged returns the union of all snapshots.
 func (tl *HistogramTimeline) Merged() *Histogram {

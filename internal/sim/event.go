@@ -21,11 +21,25 @@ type EventLoop struct {
 	seq   uint64
 }
 
-// event is one heap entry.
+// event is one heap entry: either a closure (fn) or a pre-bound
+// target (tgt), never both. The two forms share one sequence space,
+// so mixing them cannot perturb tie-breaking.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	tgt EventTarget
+}
+
+// EventTarget is a pre-bound event callback. ScheduleTarget enqueues
+// one without allocating: the dominant park/unpark and I/O-completion
+// events on the hot path schedule a live object (a *Proc, a device
+// request) whose callback is fully determined by its identity, and a
+// per-event closure would only box that same pointer.
+type EventTarget interface {
+	// RunEvent fires the event. It runs in loop context, exactly like
+	// a closure passed to Schedule.
+	RunEvent()
 }
 
 // NewEventLoop returns a loop whose clock starts at the given time.
@@ -55,6 +69,30 @@ func (l *EventLoop) Schedule(at Time, fn func()) {
 	l.up(len(l.heap) - 1)
 }
 
+// ScheduleTarget enqueues tgt.RunEvent to run at virtual time at,
+// with the same past-clamping as Schedule but without allocating a
+// closure. With a Reserved heap the call is allocation-free.
+func (l *EventLoop) ScheduleTarget(at Time, tgt EventTarget) {
+	if at < l.clock.Now() {
+		at = l.clock.Now()
+	}
+	l.heap = append(l.heap, event{at: at, seq: l.seq, tgt: tgt})
+	l.seq++
+	l.up(len(l.heap) - 1)
+}
+
+// Reserve grows the heap's capacity to hold at least n pending events
+// without reallocating — call it before spawning a known population of
+// processes so the measured phase never pays append growth.
+func (l *EventLoop) Reserve(n int) {
+	if cap(l.heap) >= n {
+		return
+	}
+	heap := make([]event, len(l.heap), n)
+	copy(heap, l.heap)
+	l.heap = heap
+}
+
 // Step pops and runs the earliest event, advancing the clock to its
 // timestamp. It reports whether an event ran.
 func (l *EventLoop) Step() bool {
@@ -64,14 +102,37 @@ func (l *EventLoop) Step() bool {
 	ev := l.heap[0]
 	n := len(l.heap) - 1
 	l.heap[0] = l.heap[n]
-	l.heap[n] = event{} // release the closure
+	l.heap[n] = event{} // release the closure/target
 	l.heap = l.heap[:n]
 	if n > 0 {
 		l.down(0)
 	}
 	l.clock.AdvanceTo(ev.at)
-	ev.fn()
+	if ev.tgt != nil {
+		ev.tgt.RunEvent()
+	} else {
+		ev.fn()
+	}
 	return true
+}
+
+// NextTime reports the timestamp of the earliest pending event, and
+// whether one exists. Shard coordinators use it to compute the safe
+// horizon; it never pops.
+func (l *EventLoop) NextTime() (Time, bool) {
+	if len(l.heap) == 0 {
+		return 0, false
+	}
+	return l.heap[0].at, true
+}
+
+// RunBefore processes events with timestamps strictly before limit,
+// then stops. Events a callback schedules inside the window run within
+// the same call; afterwards every pending event is at or past limit.
+func (l *EventLoop) RunBefore(limit Time) {
+	for len(l.heap) > 0 && l.heap[0].at < limit {
+		l.Step()
+	}
 }
 
 // Run processes events until none remain. Procs spawned with Go count
@@ -135,15 +196,12 @@ type Proc struct {
 // Go spawns a process that begins executing body at virtual time
 // start. The body runs on its own goroutine but only while it holds
 // the baton; it must interact with virtual time exclusively through
-// its Proc.
+// its Proc. The goroutine comes from a bounded pool: a 100k-thread
+// workload run R times creates each worker stack once, not R times.
 func (l *EventLoop) Go(start Time, body func(p *Proc)) *Proc {
 	p := &Proc{loop: l, wake: make(chan Time), park: make(chan struct{})}
-	go func() {
-		p.now = <-p.wake
-		body(p)
-		p.park <- struct{}{}
-	}()
-	l.Schedule(start, p.resume)
+	spawnProc(p, body)
+	l.ScheduleTarget(start, p)
 	return p
 }
 
@@ -153,6 +211,11 @@ func (p *Proc) resume() {
 	p.wake <- p.loop.Now()
 	<-p.park
 }
+
+// RunEvent implements EventTarget: a scheduled Proc resumes. This is
+// the park/unpark hot path — WaitUntil and Go schedule the Proc
+// itself instead of a fresh closure around resume.
+func (p *Proc) RunEvent() { p.resume() }
 
 // Now reports the process's local virtual time. It can run ahead of
 // the loop clock between yields (CPU-only work is accounted locally);
@@ -169,7 +232,7 @@ func (p *Proc) WaitUntil(t Time) Time {
 	if t <= p.now {
 		return p.now
 	}
-	p.loop.Schedule(t, p.resume)
+	p.loop.ScheduleTarget(t, p)
 	p.park <- struct{}{}
 	p.now = <-p.wake
 	return p.now

@@ -1,0 +1,194 @@
+package sim
+
+import "sort"
+
+// ShardedLoop runs N EventLoop shards in parallel under conservative
+// time-window synchronization — the classic Chandy-Misra-Bryant
+// discipline specialized to this kernel's one-baton loops.
+//
+// Each shard owns a full EventLoop (heap, clock, baton) and runs on
+// its own goroutine, so shards genuinely execute on separate cores.
+// A coordinator repeatedly computes a safe horizon
+//
+//	W = min over shards of next-event time + lookahead
+//
+// where lookahead is the minimum virtual latency of any cross-shard
+// interaction. Every event before W on any shard is causally
+// independent of every event at or after W on any other shard: the
+// earliest message a shard could send inside the window arrives at
+// least lookahead later, which is at or past W. So all shards run
+// freely (in parallel) up to W, barrier, exchange mail, and the
+// window advances. Within a shard, ordering is the usual exact
+// (time, sequence) order; determinism is therefore preserved
+// per-shard, and cross-shard mail is merged deterministically (below).
+//
+// Cross-shard events go through per-shard outboxes drained at the
+// barrier in (delivery time, source shard, source sequence) order —
+// a total order independent of goroutine scheduling, so the
+// destination loop assigns tie-breaking sequence numbers identically
+// on every run. Send clamps delivery below now+lookahead up to
+// now+lookahead, mirroring Schedule's past-clamping.
+//
+// The race detector sees a sound happens-before structure: the only
+// cross-goroutine edges are the run/done barrier channels, and all
+// coordinator access to shard state happens strictly between a
+// shard's done signal and its next run signal.
+type ShardedLoop struct {
+	lookahead Time
+	shards    []*loopShard
+}
+
+// loopShard is one shard: its loop, its barrier channels, and the
+// outbox its in-window code appends cross-shard sends to.
+type loopShard struct {
+	id     int
+	loop   *EventLoop
+	run    chan Time     // coordinator -> shard: run events before W
+	done   chan struct{} // shard -> coordinator: window finished
+	outbox []mail
+}
+
+// mail is one cross-shard event awaiting barrier delivery.
+type mail struct {
+	dst int
+	at  Time
+	fn  func()
+}
+
+// NewShardedLoop returns n shards whose clocks start at the given
+// time. lookahead is the minimum cross-shard latency the caller
+// guarantees (clamped to at least 1 ns — a zero lookahead could never
+// advance the window).
+func NewShardedLoop(start Time, n int, lookahead Time) *ShardedLoop {
+	if n < 1 {
+		panic("sim: sharded loop needs at least one shard")
+	}
+	if lookahead < 1 {
+		lookahead = 1
+	}
+	sl := &ShardedLoop{lookahead: lookahead}
+	for i := 0; i < n; i++ {
+		sl.shards = append(sl.shards, &loopShard{
+			id:   i,
+			loop: NewEventLoop(start),
+			run:  make(chan Time),
+			done: make(chan struct{}),
+		})
+	}
+	return sl
+}
+
+// NumShards reports the shard count.
+func (sl *ShardedLoop) NumShards() int { return len(sl.shards) }
+
+// Lookahead reports the conservative window width.
+func (sl *ShardedLoop) Lookahead() Time { return sl.lookahead }
+
+// Shard returns shard i's event loop. Before Run, the caller seeds it
+// (spawn procs, schedule events) from its own goroutine; during Run,
+// only code executing on shard i may touch it.
+func (sl *ShardedLoop) Shard(i int) *EventLoop { return sl.shards[i].loop }
+
+// Send schedules fn on shard dst at virtual time at, from code
+// running on shard src. Delivery below src's now+lookahead is clamped
+// up to it — the lookahead contract is what makes the window safe.
+// The event is buffered in src's outbox and delivered at the next
+// barrier; buffering is safe precisely because the clamped delivery
+// time can never fall inside the current window.
+func (sl *ShardedLoop) Send(src, dst int, at Time, fn func()) {
+	s := sl.shards[src]
+	if min := s.loop.Now() + sl.lookahead; at < min {
+		at = min
+	}
+	s.outbox = append(s.outbox, mail{dst: dst, at: at, fn: fn})
+}
+
+// Run executes all shards to completion: windows advance until no
+// shard has a pending event and no mail is in flight. Like
+// EventLoop.Run, procs parked with no arranged wake-up are the
+// caller's bug — they do not keep Run alive.
+func (sl *ShardedLoop) Run() {
+	for _, s := range sl.shards {
+		go s.serve()
+	}
+	for {
+		sl.deliver()
+		horizon, ok := sl.minNext()
+		if !ok {
+			break
+		}
+		w := horizon + sl.lookahead
+		for _, s := range sl.shards {
+			s.run <- w
+		}
+		for _, s := range sl.shards {
+			<-s.done
+		}
+	}
+	for _, s := range sl.shards {
+		close(s.run)
+	}
+	for _, s := range sl.shards {
+		<-s.done
+	}
+}
+
+// serve is a shard goroutine: run each granted window, signal the
+// barrier, repeat until the coordinator closes the run channel.
+func (s *loopShard) serve() {
+	for w := range s.run {
+		s.loop.RunBefore(w)
+		s.done <- struct{}{}
+	}
+	s.done <- struct{}{}
+}
+
+// deliver drains every outbox into the destination heaps in
+// (delivery time, source shard, source sequence) order. Sorting by
+// that total key before scheduling means destination loops assign
+// their tie-breaking sequence numbers in an order no goroutine
+// interleaving can influence. Runs in coordinator context, between
+// barriers.
+func (sl *ShardedLoop) deliver() {
+	type routed struct {
+		mail
+		src, idx int
+	}
+	var all []routed
+	for _, s := range sl.shards {
+		for i, m := range s.outbox {
+			all = append(all, routed{mail: m, src: s.id, idx: i})
+		}
+		s.outbox = s.outbox[:0]
+	}
+	if len(all) == 0 {
+		return
+	}
+	// The key is total — (at, src, idx) never ties — so the sorted
+	// order is a unique permutation.
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.idx < b.idx
+	})
+	for _, m := range all {
+		sl.shards[m.dst].loop.Schedule(m.at, m.fn)
+	}
+}
+
+// minNext reports the earliest pending event time across shards.
+func (sl *ShardedLoop) minNext() (Time, bool) {
+	var best Time
+	found := false
+	for _, s := range sl.shards {
+		if t, ok := s.loop.NextTime(); ok && (!found || t < best) {
+			best, found = t, true
+		}
+	}
+	return best, found
+}

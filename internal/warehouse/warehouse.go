@@ -82,6 +82,12 @@ type Record struct {
 	DurationNs int64 `json:"duration_ns"`
 	WindowNs   int64 `json:"window_ns"`
 	ColdCache  bool  `json:"cold_cache,omitempty"`
+	// Shards is the kernel shard count the runs executed under — an
+	// execution knob like Parallelism, deliberately excluded from the
+	// Fingerprint, but recorded so pooled records can be audited:
+	// shards>1 runs model N replica stacks, not one shared device
+	// (DESIGN.md §9). Absent (0) means the single-loop kernel.
+	Shards int `json:"shards,omitempty"`
 
 	// Measures.
 	Throughput stats.Summary      `json:"throughput"`
@@ -95,15 +101,24 @@ type Record struct {
 // Fingerprint hashes everything that defines what an experiment
 // measures — stack, workload (canonical WDL text), duration, window,
 // kinds, cold-start — and nothing that only defines which draw it
-// took (seed, run count, parallelism, hooks). The hex prefix is long
-// enough (96 bits) that a collision within one archive is not a
-// realistic concern.
+// took (seed, run count, parallelism, shard count, hooks). The hex
+// prefix is long enough (96 bits) that a collision within one archive
+// is not a realistic concern.
+//
+// The stack line serializes through StackConfig.String (%+v resolves
+// the Stringer), which is the frozen surface every committed baseline
+// fingerprint was recorded against: TestFingerprintFrozenSerialization
+// pins the bytes. Shards is zeroed first — the shard count is an
+// execution knob like Parallelism, not part of what is measured, so
+// records at any shard count pool under one fingerprint; it is
+// archived as Record metadata instead (DESIGN.md §9).
 func Fingerprint(e *core.Experiment) string {
 	h := sha256.New()
 	// The VFS override is a pointer: print the pointee, never the
 	// address, or the fingerprint would differ between processes.
 	stack := e.Stack
 	stack.VFS = nil
+	stack.Shards = 0
 	fmt.Fprintf(h, "stack|%+v\n", stack)
 	if e.Stack.VFS != nil {
 		fmt.Fprintf(h, "vfs|%+v\n", *e.Stack.VFS)
@@ -148,6 +163,7 @@ func FromResult(res *core.Result, gitRev string, now time.Time) Record {
 		DurationNs:  int64(e.Duration),
 		WindowNs:    int64(e.MeasureWindow),
 		ColdCache:   e.ColdCache,
+		Shards:      e.Stack.Shards,
 		Throughput:  res.Throughput,
 		Hist:        res.Hist,
 		Jain:        res.Jain,

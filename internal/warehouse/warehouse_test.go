@@ -38,6 +38,40 @@ func TestFingerprintIgnoresSeedAndRuns(t *testing.T) {
 	}
 }
 
+func TestFingerprintIgnoresShards(t *testing.T) {
+	// Shard count is an execution knob: records at any shard count
+	// must pool under one fingerprint, like Parallelism.
+	a, b := testExperiment(1), testExperiment(1)
+	b.Stack.Shards = 4
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Errorf("fingerprint depends on shard count:\n a=%s\n b=%s",
+			Fingerprint(a), Fingerprint(b))
+	}
+}
+
+func TestFingerprintFrozenSerialization(t *testing.T) {
+	// Pins the exact fingerprint of a fixed experiment. If this
+	// changes, every committed baseline (ci/baseline.jsonl) is
+	// orphaned: the serialization surface (StackConfig.String plus the
+	// WDL and proto lines) is frozen precisely so StackConfig can grow
+	// execution knobs without moving this value. Update the constant
+	// only with a deliberate, documented baseline migration.
+	const frozen = "d2d6caf4f19acc15b5cdc2e8"
+	if got := Fingerprint(testExperiment(1)); got != frozen {
+		t.Errorf("fingerprint serialization drifted: got %s want %s", got, frozen)
+	}
+}
+
+func TestRecordCarriesShards(t *testing.T) {
+	e := testExperiment(1)
+	e.Stack.Shards = 4
+	res := &core.Result{Experiment: e, Hist: &metrics.Histogram{}}
+	rec := FromResult(res, "", time.Unix(0, 0))
+	if rec.Shards != 4 {
+		t.Errorf("record shards = %d, want 4", rec.Shards)
+	}
+}
+
 func TestFingerprintSeesConfig(t *testing.T) {
 	base := Fingerprint(testExperiment(1))
 	mutations := map[string]func(*core.Experiment){

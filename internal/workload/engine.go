@@ -204,6 +204,7 @@ type Engine struct {
 	counter metrics.Counter
 	load    metrics.LoadGauge
 	qstats  device.QueueStats // device-queue counters from the last Run
+	runErr  error             // first error raised by any proc during Run
 }
 
 // NewEngine prepares (but does not set up) an engine. The workload
@@ -374,11 +375,35 @@ func (e *Engine) DropCaches() {
 // the offered-vs-completed gap lands in Load().
 func (e *Engine) Run(from, until sim.Time) (sim.Time, error) {
 	loop := sim.NewEventLoop(from)
-	if err := e.m.BeginEvents(loop); err != nil {
+	if err := e.begin(loop, until); err != nil {
 		return from, err
 	}
-	var runErr error
+	loop.Run() // drains thread procs and all async completions
+	return e.end()
+}
+
+// begin switches the mount into event mode on loop and spawns every
+// thread and generator process at the loop's current time. It is the
+// front half of Run, split out so a sharded run can begin each shard
+// engine on its own shard loop before the coordinator runs them all.
+func (e *Engine) begin(loop *sim.EventLoop, until sim.Time) error {
+	from := loop.Now()
+	if err := e.m.BeginEvents(loop); err != nil {
+		return err
+	}
+	// Every live thread holds one pending event (its park/unpark or
+	// completion) at a time, plus the daemon's wake-up: reserving the
+	// population up front keeps the measured phase free of heap
+	// growth.
+	loop.Reserve(len(e.threads) + len(e.classes) + 16)
+	e.runErr = nil
 	remaining := len(e.threads) + len(e.classes)
+	if remaining == 0 {
+		// A shard that drew no threads or classes has no process to
+		// deliver the last finish(): stop the write-back daemon now or
+		// its periodic wake would keep the loop alive forever.
+		e.m.StopWriteback()
+	}
 	finish := func() {
 		// When the last process finishes, tell the write-back daemon
 		// to exit at its next wake — otherwise its periodic wake-up
@@ -398,17 +423,23 @@ func (e *Engine) Run(from, until sim.Time) (sim.Time, error) {
 		}
 		loop.Go(from, func(p *sim.Proc) {
 			defer finish()
-			body(p, th, until, &runErr)
+			body(p, th, until, &e.runErr)
 		})
 	}
 	for _, cs := range e.classes {
 		cs := cs
 		loop.Go(from, func(p *sim.Proc) {
 			defer finish()
-			e.generate(p, cs, until, &runErr)
+			e.generate(p, cs, until, &e.runErr)
 		})
 	}
-	loop.Run() // drains thread procs and all async completions
+	return nil
+}
+
+// end leaves event mode and reports the final virtual time (max over
+// threads) and the first error any process raised — the back half of
+// Run.
+func (e *Engine) end() (sim.Time, error) {
 	e.qstats = e.m.EndEvents()
 	var end sim.Time
 	for _, th := range e.threads {
@@ -416,7 +447,7 @@ func (e *Engine) Run(from, until sim.Time) (sim.Time, error) {
 			end = th.now
 		}
 	}
-	return end, runErr
+	return end, e.runErr
 }
 
 // closedLoop is the classic self-paced thread body.
