@@ -412,12 +412,13 @@ func BenchmarkMultiLevelCacheSteps(b *testing.B) {
 // NVMe device (4 channels). The metrics are the depth-32 throughput
 // gain and its p99 latency cost per device.
 func BenchmarkContention(b *testing.B) {
-	run := func(b *testing.B, dev string, depth, shards, i int) (tp, p99ms float64) {
+	run := func(b *testing.B, dev string, depth, shards int, mode string, i int) (tp, p99ms float64) {
 		stack := benchStack()
 		stack.OSReserveJitter = 0
 		stack.Scheduler = "ncq"
 		stack.QueueDepth = depth
 		stack.Shards = shards
+		stack.ShardMode = mode
 		duration, window := 15*Second, 5*Second
 		if dev == "nvme" {
 			stack.Device = "nvme"
@@ -450,7 +451,7 @@ func BenchmarkContention(b *testing.B) {
 			b.Run(fmt.Sprintf("dev=%s/qd=%d", dev, depth), func(b *testing.B) {
 				var tp, p99 float64
 				for i := 0; i < b.N; i++ {
-					tp, p99 = run(b, dev, depth, 1, i)
+					tp, p99 = run(b, dev, depth, 1, ShardModeReplica, i)
 				}
 				b.ReportMetric(tp, "ops/s")
 				b.ReportMetric(p99, "p99-ms")
@@ -468,7 +469,24 @@ func BenchmarkContention(b *testing.B) {
 		b.Run(fmt.Sprintf("dev=%s/qd=32/shards=4", dev), func(b *testing.B) {
 			var tp, p99 float64
 			for i := 0; i < b.N; i++ {
-				tp, p99 = run(b, dev, 32, 4, i)
+				tp, p99 = run(b, dev, 32, 4, ShardModeReplica, i)
+			}
+			b.ReportMetric(tp, "ops/s")
+			b.ReportMetric(p99, "p99-ms")
+		})
+	}
+	// Shared-device legs: the same qd=32 contention run partitioned as
+	// two thread shards plus a device-owning shard — ONE device, so
+	// unlike the replica legs these throughputs are comparable to the
+	// shards=1 legs (minus the disclosed submit-hop lookahead and the
+	// split cache). ns/op tracks the cross-shard mailbox cost per
+	// device model.
+	for _, dev := range []string{"hdd", "nvme"} {
+		dev := dev
+		b.Run(fmt.Sprintf("dev=%s/qd=32/shards=2/mode=shared", dev), func(b *testing.B) {
+			var tp, p99 float64
+			for i := 0; i < b.N; i++ {
+				tp, p99 = run(b, dev, 32, 2, ShardModeSharedDevice, i)
 			}
 			b.ReportMetric(tp, "ops/s")
 			b.ReportMetric(p99, "p99-ms")
@@ -482,37 +500,49 @@ func BenchmarkContention(b *testing.B) {
 	// speedup metric (≥2x at shards=4 needs GOMAXPROCS >= 2; on a
 	// 1-CPU box the shards serialize and ns/op only tracks the
 	// smaller per-shard event heaps).
+	drain := func(b *testing.B, shards int, mode string) {
+		for i := 0; i < b.N; i++ {
+			stack := benchStack()
+			stack.OSReserveJitter = 0
+			stack.Scheduler = "ncq"
+			stack.QueueDepth = 32
+			stack.Shards = shards
+			stack.ShardMode = mode
+			exp := &Experiment{
+				Name:     "contention-100k",
+				Stack:    stack,
+				Workload: MixedRegions(4, 25000, 0, 256<<20, 2<<10),
+				Runs:     1,
+				// One virtual second of issue; the O(threads)
+				// backlog drain past `until` dominates the run.
+				Duration:  Second,
+				ColdCache: true,
+				Seed:      uint64(i) + 31,
+				Kinds:     []OpKind{workload.OpReadRand},
+			}
+			res, err := exp.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.PerRun[0].Ops == 0 {
+				b.Fatal("100k-thread run measured no ops")
+			}
+		}
+	}
 	for _, shards := range []int{1, 4} {
 		shards := shards
 		b.Run(fmt.Sprintf("threads=100k/shards=%d", shards), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				stack := benchStack()
-				stack.OSReserveJitter = 0
-				stack.Scheduler = "ncq"
-				stack.QueueDepth = 32
-				stack.Shards = shards
-				exp := &Experiment{
-					Name:     "contention-100k",
-					Stack:    stack,
-					Workload: MixedRegions(4, 25000, 0, 256<<20, 2<<10),
-					Runs:     1,
-					// One virtual second of issue; the O(threads)
-					// backlog drain past `until` dominates the run.
-					Duration:  Second,
-					ColdCache: true,
-					Seed:      uint64(i) + 31,
-					Kinds:     []OpKind{workload.OpReadRand},
-				}
-				res, err := exp.Run()
-				if err != nil {
-					b.Fatal(err)
-				}
-				if res.PerRun[0].Ops == 0 {
-					b.Fatal("100k-thread run measured no ops")
-				}
-			}
+			drain(b, shards, ShardModeReplica)
 		})
 	}
+	// The shared-device drain is the speedup headline: the same single
+	// device as shards=1, but the 100k threads' VFS/cache work spread
+	// over 4 thread shards running concurrently with the device shard.
+	// Compare its ns/op against threads=100k/shards=1 at GOMAXPROCS>=2
+	// (BENCH_shards in CI records both).
+	b.Run("threads=100k/shards=4/mode=shared", func(b *testing.B) {
+		drain(b, 4, ShardModeSharedDevice)
+	})
 	// Open-loop leg: Poisson arrivals just past the disk's closed-loop
 	// saturation (~150 ops/s on this scaled stack), short virtual
 	// duration like the NVMe legs, so the bench artifacts track the

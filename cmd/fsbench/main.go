@@ -51,6 +51,7 @@ func main() {
 		seed         = flag.Uint64("seed", 1, "base seed")
 		parallel     = flag.Int("parallel", 0, "concurrent runs, 0 = GOMAXPROCS (results are identical at any setting)")
 		shards       = flag.Int("shards", 1, "event-loop shards per run; >1 models N replica stacks each serving 1/N of the threads (see DESIGN.md §9)")
+		shardMode    = flag.String("shard-mode", "", "shard partitioning with -shards: empty = replica (N private devices, execution knob), shared-device = one device shard serving N thread shards (measured configuration; see DESIGN.md §9)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		warehouseDir = flag.String("warehouse", "", "archive the full result (per-run samples and histograms) to this results-warehouse directory")
@@ -132,6 +133,7 @@ func main() {
 		Readahead:       *readahead,
 		L2Bytes:         *l2MB << 20,
 		Shards:          *shards,
+		ShardMode:       *shardMode,
 	}
 
 	fmt.Printf("workload: %s\nstack:    %s\n", w.Name, stack)

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	fsbench "repro"
 	"repro/internal/warehouse"
@@ -36,18 +38,25 @@ const (
 	gateRuns      = 8
 )
 
-// leg is one replayed benchmark configuration.
+// leg is one replayed benchmark configuration. A leg with modePinned
+// set carries its own shard topology (count and mode) as part of WHAT
+// it measures: the -shards execution knob does not apply to it.
 type leg struct {
 	name     string
 	stack    fsbench.StackConfig
 	workload *fsbench.Workload
 	duration fsbench.Time
 	window   fsbench.Time
+	// modePinned marks shard count/mode as config, not execution knob.
+	modePinned bool
 }
 
 // legs mirrors BenchmarkContention: 16-thread disk-bound random reads
 // at queue depth 1 vs 32 under NCQ on the disk and the 4-channel NVMe
-// device, plus the open-loop Poisson leg past the disk's saturation.
+// device, plus the open-loop Poisson leg past the disk's saturation
+// and the shared-device sharded leg (the same hdd-qd32 contention
+// split across two thread shards and a device shard — its fingerprint
+// includes the topology, so it gates against its own baseline rows).
 // Unlike the benchmarks, the legs keep the OS-reserve jitter: the
 // gate needs honest run-to-run variance, or seed luck masquerades as
 // significance.
@@ -64,14 +73,18 @@ func legs() []leg {
 		}
 		return s
 	}
+	shared := stack("hdd", 32)
+	shared.Shards = 2
+	shared.ShardMode = fsbench.ShardModeSharedDevice
 	read := func() *fsbench.Workload { return fsbench.RandomRead(1<<30, 2<<10, 16) }
 	return []leg{
-		{"gate-hdd-qd1", stack("hdd", 1), read(), 15 * fsbench.Second, 5 * fsbench.Second},
-		{"gate-hdd-qd32", stack("hdd", 32), read(), 15 * fsbench.Second, 5 * fsbench.Second},
-		{"gate-nvme4-qd1", stack("nvme", 1), read(), 5 * fsbench.Second, 2 * fsbench.Second},
-		{"gate-nvme4-qd32", stack("nvme", 32), read(), 5 * fsbench.Second, 2 * fsbench.Second},
+		{"gate-hdd-qd1", stack("hdd", 1), read(), 15 * fsbench.Second, 5 * fsbench.Second, false},
+		{"gate-hdd-qd32", stack("hdd", 32), read(), 15 * fsbench.Second, 5 * fsbench.Second, false},
+		{"gate-nvme4-qd1", stack("nvme", 1), read(), 5 * fsbench.Second, 2 * fsbench.Second, false},
+		{"gate-nvme4-qd32", stack("nvme", 32), read(), 5 * fsbench.Second, 2 * fsbench.Second, false},
 		{"gate-openloop", stack("hdd", 32), fsbench.OpenLoopRead(1<<30, 2<<10, 16, 180),
-			5 * fsbench.Second, 2 * fsbench.Second},
+			5 * fsbench.Second, 2 * fsbench.Second, false},
+		{"gate-shared-hdd-qd32", shared, read(), 15 * fsbench.Second, 5 * fsbench.Second, true},
 	}
 }
 
@@ -83,8 +96,35 @@ func main() {
 		update   = flag.Bool("update", false, "re-record the baseline instead of gating")
 		parallel = flag.Int("parallel", 0, "concurrent runs, 0 = GOMAXPROCS (results are identical at any setting)")
 		shards   = flag.Int("shards", 1, "event-loop shards per run; fingerprints ignore the setting, so sharded candidates still gate against the committed baseline (see DESIGN.md §9)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *update {
 		if err := recordBaseline(*baseline, *parallel, *shards); err != nil {
@@ -107,7 +147,9 @@ func replay(dir string, seed uint64, parallel, shards int) (warehouse.Set, error
 	defer st.Close()
 	st.GitRev = warehouse.GitRev()
 	for _, l := range legs() {
-		l.stack.Shards = shards
+		if !l.modePinned {
+			l.stack.Shards = shards
+		}
 		exp := &fsbench.Experiment{
 			Name:          l.name,
 			Stack:         l.stack,

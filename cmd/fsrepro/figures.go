@@ -34,6 +34,11 @@ type Protocol struct {
 	// figure's stack — an execution knob like Parallelism, excluded
 	// from warehouse fingerprints (DESIGN.md §9).
 	Shards int
+	// ShardMode selects the shard partitioning with Shards > 1. The
+	// default (empty, replica) is a pure execution knob; shared-device
+	// changes what the figures measure — one contended device behind
+	// all shards — and is included in warehouse fingerprints.
+	ShardMode string
 	// Tiny shrinks the figures that hard-code their own sweeps
 	// (contention, qdsweep, openloop) to a couple of points at the
 	// protocol's durations. The output is still deterministic for a
@@ -46,6 +51,7 @@ type Protocol struct {
 // stack, so -shards rides through every figure uniformly.
 func (p Protocol) stack(s fsbench.StackConfig) fsbench.StackConfig {
 	s.Shards = p.Shards
+	s.ShardMode = p.ShardMode
 	return s
 }
 

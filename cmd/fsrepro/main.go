@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	wh "repro/internal/warehouse"
@@ -36,9 +38,37 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "base seed")
 		parallel  = flag.Int("parallel", 0, "concurrent runs, 0 = GOMAXPROCS (results are identical at any setting)")
 		shards    = flag.Int("shards", 1, "event-loop shards per run; >1 models N replica stacks (see DESIGN.md §9)")
+		shardMode = flag.String("shard-mode", "", "shard partitioning with -shards: empty = replica, shared-device = one contended device behind all shards (see DESIGN.md §9)")
 		warehouse = flag.String("warehouse", "", "archive every figure's measured runs to this results-warehouse directory")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
@@ -51,6 +81,7 @@ func main() {
 	proto.OutDir = *out
 	proto.Parallelism = *parallel
 	proto.Shards = *shards
+	proto.ShardMode = *shardMode
 	if *warehouse != "" {
 		st, err := openWarehouse(*warehouse)
 		if err != nil {

@@ -90,7 +90,7 @@ func listSets(set warehouse.Set) error {
 	sort.Strings(keys)
 	t := &report.Table{
 		Title:   fmt.Sprintf("%d records, %d runs", len(set), set.Runs()),
-		Headers: []string{"name", "config", "stack", "arrival", "shards", "records", "runs", "ops/s mean", "revs"},
+		Headers: []string{"name", "config", "stack", "arrival", "shards", "mode", "records", "runs", "ops/s mean", "revs"},
 	}
 	for _, k := range keys {
 		g := groups[k]
@@ -116,6 +116,12 @@ func listSets(set warehouse.Set) error {
 		}
 		sort.Ints(shardCounts)
 		shardCol := strings.Trim(strings.Join(strings.Fields(fmt.Sprint(shardCounts)), ","), "[]")
+		// The mode is part of the fingerprint when set, so one group has
+		// one mode; "replica" spells out the empty default.
+		mode := r.ShardMode
+		if mode == "" {
+			mode = "replica"
+		}
 		tp := g.Throughputs()
 		mean := 0.0
 		for _, v := range tp {
@@ -130,6 +136,7 @@ func listSets(set warehouse.Set) error {
 			fmt.Sprintf("%s/%s/%s", r.FS, r.Device, r.Scheduler),
 			r.Arrival,
 			shardCol,
+			mode,
 			fmt.Sprintf("%d", len(g)),
 			fmt.Sprintf("%d", g.Runs()),
 			fmt.Sprintf("%.0f", mean),

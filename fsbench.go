@@ -184,6 +184,16 @@ const (
 	Isolates   = core.Isolates
 )
 
+// Shard partitioning modes (StackConfig.ShardMode). Replica sharding
+// (the default, empty string) gives every shard a private device and
+// is an execution knob invisible to fingerprints; shared-device
+// sharding routes every shard's I/O to one device-owning shard and is
+// part of the measured configuration.
+const (
+	ShardModeReplica      = core.ShardModeReplica
+	ShardModeSharedDevice = core.ShardModeSharedDevice
+)
+
 // PaperStack returns the paper's testbed configuration: Ext2 over the
 // Maxtor 7L250S0 SATA model with 512 MB RAM, ~102 MB of it held by
 // the OS with ±2 MB run-to-run jitter.

@@ -82,9 +82,37 @@ type StackConfig struct {
 	// fingerprint like Parallelism.
 	Shards int
 
+	// ShardMode selects how Shards > 1 partitions the system.
+	// ShardModeReplica ("", the default) keeps the replica-stack
+	// semantics above. ShardModeSharedDevice runs the contention
+	// topology instead: one device and one I/O-scheduler queue shared
+	// by all shards (the queue lives on a dedicated device shard,
+	// reached by mailbox edges with the device cost model's MinLatency
+	// as lookahead), with the page cache split evenly across the
+	// thread shards so aggregate cache stays CacheBytesMean. The mode
+	// is ignored at Shards <= 1.
+	//
+	// Fingerprint treatment differs from Shards on purpose: replica
+	// shard count is an execution knob (excluded, metadata only), but
+	// shared-device mode changes the measured system — one contended
+	// queue, N-way cache split, submit hops of up to one lookahead —
+	// so both the mode and the shard count enter the config
+	// fingerprint whenever ShardMode is set (DESIGN.md §9).
+	ShardMode string
+
 	// VFS tunes software costs; zero value means vfs.DefaultConfig.
 	VFS *vfs.Config
 }
+
+// Shard modes accepted by StackConfig.ShardMode.
+const (
+	// ShardModeReplica partitions threads over N independent stack
+	// replicas (PR 7 semantics; the default).
+	ShardModeReplica = ""
+	// ShardModeSharedDevice partitions threads over N shards that
+	// share one device behind one queue on a dedicated device shard.
+	ShardModeSharedDevice = "shared-device"
+)
 
 // PaperStack returns the configuration of the paper's testbed: ext2
 // on the Maxtor SATA disk with 512 MB of RAM (about 100 MB of it
@@ -120,61 +148,17 @@ func (c StackConfig) Build(rng *sim.RNG) (*vfs.Mount, error) {
 	if diskBytes <= 0 {
 		diskBytes = 64 << 30
 	}
-
-	var dev device.Device
-	switch c.Device {
-	case "", "hdd":
-		cfg := device.DefaultHDD()
-		cfg.CapacityBytes = diskBytes
-		dev = device.NewHDD(cfg, rng.Split())
-	case "ssd":
-		cfg := device.DefaultSSD()
-		cfg.CapacityBytes = diskBytes
-		dev = device.NewSSD(cfg, rng.Split())
-	case "ramdisk":
-		dev = device.NewRAMDisk(diskBytes)
-	case "nvme":
-		cfg := device.DefaultNVMe()
-		cfg.CapacityBytes = diskBytes
-		if c.NVMeChannels > 0 {
-			cfg.Channels = c.NVMeChannels
-		}
-		dev = device.NewNVMe(cfg, rng.Split())
-	default:
-		return nil, fmt.Errorf("core: unknown device %q", c.Device)
+	dev, err := c.buildDevice(diskBytes, rng)
+	if err != nil {
+		return nil, err
 	}
-
-	blocks := diskBytes / fs.BlockSize
-	var fsys fs.FileSystem
-	var err error
-	switch c.FS {
-	case "", "ext2":
-		fsys, err = ext2sim.New(blocks)
-	case "ext3":
-		fsys, err = ext3sim.New(blocks, c.Ext3Mode)
-	case "xfs":
-		fsys, err = xfssim.New(blocks, 4)
-	default:
-		return nil, fmt.Errorf("core: unknown file system %q", c.FS)
-	}
+	fsys, err := c.buildFS(diskBytes)
 	if err != nil {
 		return nil, err
 	}
 
 	// Draw this run's available page-cache size.
-	ram := c.RAMBytes
-	if ram <= 0 {
-		ram = 512 << 20
-	}
-	reserve := float64(c.OSReserveBytes)
-	if c.OSReserveJitter > 0 {
-		reserve = rng.NormalClamped(float64(c.OSReserveBytes), float64(c.OSReserveJitter),
-			0, float64(ram))
-	}
-	cacheBytes := ram - int64(reserve)
-	if cacheBytes < 0 {
-		cacheBytes = 0
-	}
+	cacheBytes := c.drawCacheBytes(rng)
 	pol, err := cache.NewPolicy(c.CachePolicy, rng.Split())
 	if err != nil {
 		return nil, err
@@ -189,6 +173,119 @@ func (c StackConfig) Build(rng *sim.RNG) (*vfs.Mount, error) {
 		l2 = cache.New(int(c.L2Bytes/cache.PageSize), l2pol)
 	}
 
+	vcfg, err := c.vfsConfig()
+	if err != nil {
+		return nil, err
+	}
+	return vfs.New(fsys, dev, cache.NewHierarchy(l1, l2), vcfg), nil
+}
+
+// BuildSharedDevice instantiates the shared-device sharded stack: ONE
+// device, and n mounts that each get a fresh file-system instance, a
+// 1/n share of this run's page cache (one OS-reserve draw — the
+// shards model one machine, not n), and a 1/n share of any L2 tier.
+// The mounts are ready for workload.NewSharedDeviceEngine.
+func (c StackConfig) BuildSharedDevice(rng *sim.RNG, n int) ([]*vfs.Mount, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: shared-device build needs at least one shard")
+	}
+	diskBytes := c.DiskBytes
+	if diskBytes <= 0 {
+		diskBytes = 64 << 30
+	}
+	dev, err := c.buildDevice(diskBytes, rng)
+	if err != nil {
+		return nil, err
+	}
+	cacheBytes := c.drawCacheBytes(rng)
+	vcfg, err := c.vfsConfig()
+	if err != nil {
+		return nil, err
+	}
+	mounts := make([]*vfs.Mount, n)
+	for i := range mounts {
+		fsys, err := c.buildFS(diskBytes)
+		if err != nil {
+			return nil, err
+		}
+		pol, err := cache.NewPolicy(c.CachePolicy, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		l1 := cache.New(int(cacheBytes/int64(n)/cache.PageSize), pol)
+		var l2 *cache.Cache
+		if c.L2Bytes > 0 {
+			l2pol, err := cache.NewPolicy(c.CachePolicy, rng.Split())
+			if err != nil {
+				return nil, err
+			}
+			l2 = cache.New(int(c.L2Bytes/int64(n)/cache.PageSize), l2pol)
+		}
+		mounts[i] = vfs.New(fsys, dev, cache.NewHierarchy(l1, l2), vcfg)
+	}
+	return mounts, nil
+}
+
+// buildDevice instantiates the device model (splitting the rng for
+// its noise stream, except the noiseless ramdisk).
+func (c StackConfig) buildDevice(diskBytes int64, rng *sim.RNG) (device.Device, error) {
+	switch c.Device {
+	case "", "hdd":
+		cfg := device.DefaultHDD()
+		cfg.CapacityBytes = diskBytes
+		return device.NewHDD(cfg, rng.Split()), nil
+	case "ssd":
+		cfg := device.DefaultSSD()
+		cfg.CapacityBytes = diskBytes
+		return device.NewSSD(cfg, rng.Split()), nil
+	case "ramdisk":
+		return device.NewRAMDisk(diskBytes), nil
+	case "nvme":
+		cfg := device.DefaultNVMe()
+		cfg.CapacityBytes = diskBytes
+		if c.NVMeChannels > 0 {
+			cfg.Channels = c.NVMeChannels
+		}
+		return device.NewNVMe(cfg, rng.Split()), nil
+	}
+	return nil, fmt.Errorf("core: unknown device %q", c.Device)
+}
+
+// buildFS instantiates a fresh file-system model.
+func (c StackConfig) buildFS(diskBytes int64) (fs.FileSystem, error) {
+	blocks := diskBytes / fs.BlockSize
+	switch c.FS {
+	case "", "ext2":
+		return ext2sim.New(blocks)
+	case "ext3":
+		return ext3sim.New(blocks, c.Ext3Mode)
+	case "xfs":
+		return xfssim.New(blocks, 4)
+	}
+	return nil, fmt.Errorf("core: unknown file system %q", c.FS)
+}
+
+// drawCacheBytes draws this run's available page-cache size.
+func (c StackConfig) drawCacheBytes(rng *sim.RNG) int64 {
+	ram := c.RAMBytes
+	if ram <= 0 {
+		ram = 512 << 20
+	}
+	reserve := float64(c.OSReserveBytes)
+	if c.OSReserveJitter > 0 {
+		reserve = rng.NormalClamped(float64(c.OSReserveBytes), float64(c.OSReserveJitter),
+			0, float64(ram))
+	}
+	cacheBytes := ram - int64(reserve)
+	if cacheBytes < 0 {
+		cacheBytes = 0
+	}
+	return cacheBytes
+}
+
+// vfsConfig resolves the VFS configuration, failing fast on a bad
+// scheduler name instead of at first Run.
+func (c StackConfig) vfsConfig() (vfs.Config, error) {
 	vcfg := vfs.DefaultConfig()
 	if c.VFS != nil {
 		vcfg = *c.VFS
@@ -202,11 +299,10 @@ func (c StackConfig) Build(rng *sim.RNG) (*vfs.Mount, error) {
 	if c.Scheduler != "" {
 		vcfg.Scheduler = c.Scheduler
 	}
-	// Fail fast on a bad scheduler name instead of at first Run.
 	if _, err := device.NewScheduler(vcfg.Scheduler); err != nil {
-		return nil, err
+		return vfs.Config{}, err
 	}
-	return vfs.New(fsys, dev, cache.NewHierarchy(l1, l2), vcfg), nil
+	return vcfg, nil
 }
 
 // String summarizes the configuration for reports.
@@ -235,6 +331,9 @@ func (c StackConfig) String() string {
 		orDefault(c.CachePolicy, "lru"), orDefault(c.Scheduler, device.DefaultScheduler), depth)
 	if c.Shards > 1 {
 		s += fmt.Sprintf(" shards=%d", c.Shards)
+		if c.ShardMode != ShardModeReplica {
+			s += fmt.Sprintf(" mode=%s", c.ShardMode)
+		}
 	}
 	return s
 }

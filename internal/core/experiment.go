@@ -214,8 +214,19 @@ type engineRunner interface {
 func (e *Experiment) runOnce(seed uint64) (RunMeasure, error) {
 	rng := sim.NewRNG(seed)
 	shards := e.Stack.Shards
+	if shards > 1 && e.Stack.ShardMode != ShardModeReplica &&
+		e.Stack.ShardMode != ShardModeSharedDevice {
+		return RunMeasure{}, fmt.Errorf("core: unknown shard mode %q", e.Stack.ShardMode)
+	}
+	sharedDev := shards > 1 && e.Stack.ShardMode == ShardModeSharedDevice
 	var mounts []*vfs.Mount
-	if shards > 1 {
+	if sharedDev {
+		var err error
+		mounts, err = e.Stack.BuildSharedDevice(rng, shards)
+		if err != nil {
+			return RunMeasure{}, err
+		}
+	} else if shards > 1 {
 		mounts = make([]*vfs.Mount, shards)
 		for i := range mounts {
 			m, err := e.Stack.Build(rng.Split())
@@ -245,7 +256,9 @@ func (e *Experiment) runOnce(seed uint64) (RunMeasure, error) {
 	}
 	var eng engineRunner
 	var err error
-	if shards > 1 {
+	if sharedDev {
+		eng, err = workload.NewSharedDeviceEngine(mounts, w, rng.Uint64())
+	} else if shards > 1 {
 		eng, err = workload.NewShardedEngine(mounts, w, rng.Uint64())
 	} else {
 		eng, err = workload.NewEngine(mounts[0], w, rng.Uint64())

@@ -12,6 +12,14 @@ import (
 // degenerates gracefully to per-owner round-robin.
 const cfqSlice = 100 * sim.Millisecond
 
+// cfqIdleGrace is how long the idling variant holds the device idle
+// after the slice holder's queue drains, anticipating the owner's
+// next request. It covers the think time of a synchronous read
+// stream (sub-millisecond to a few ms between dependent requests)
+// while staying far below the slice, so a truly departed owner costs
+// at most one grace per slice.
+const cfqIdleGrace = 4 * sim.Millisecond
+
 // cfq is a completely-fair-queueing scheduler: one FIFO queue per
 // owner (Request.Owner), serviced round-robin with a time slice per
 // owner. Within a queue requests pop in admission (Seq) order; across
@@ -26,11 +34,17 @@ const cfqSlice = 100 * sim.Millisecond
 // it while the tail segment self-sustains under closed-loop load — a
 // livelock that turns the "fair" scheduler into the most unfair one.
 //
-// Unlike the real CFQ there is no anticipatory idling: when the slice
+// The plain "cfq" policy has no anticipatory idling: when the slice
 // holder's queue drains, the scheduler moves on immediately rather
 // than holding the device idle waiting for the owner's next request.
-// Idling would require the Queue to re-dispatch on a timer; the
-// fairness this scheduler exists to demonstrate does not need it.
+// "cfq-idle" (grace > 0) adds it, real-CFQ-style: on a drain inside
+// the slice it returns nil from Pop, reports the grace deadline
+// through NextKick so the Queue re-asks on a timer, and if the
+// holder's next request arrives within the grace it rejoins at the
+// ring *head*, continuing the same slice — that is what protects a
+// synchronous read stream from deceptive idleness, where each
+// completion looks like departure and a naive scheduler donates the
+// slice (and a long seek) to a competitor on every request.
 type cfq struct {
 	order    []int // ring of owners with queued requests; order[0] is served
 	queues   map[int][]*IORequest
@@ -38,28 +52,86 @@ type cfq struct {
 	hasCur   bool
 	sliceEnd sim.Time
 	n        int
+
+	// grace > 0 enables anticipatory idling ("cfq-idle").
+	grace   sim.Time
+	idling  bool
+	idleEnd sim.Time
 }
 
 func newCFQ() *cfq {
 	return &cfq{queues: make(map[int][]*IORequest)}
 }
 
-func (s *cfq) Name() string { return SchedCFQ }
-func (s *cfq) Len() int     { return s.n }
+func newCFQIdle() *cfq {
+	return &cfq{queues: make(map[int][]*IORequest), grace: cfqIdleGrace}
+}
+
+func (s *cfq) Name() string {
+	if s.grace > 0 {
+		return SchedCFQIdle
+	}
+	return SchedCFQ
+}
+func (s *cfq) Len() int { return s.n }
 
 func (s *cfq) Push(r *IORequest) {
 	o := r.Req.Owner
 	q, ok := s.queues[o]
 	if !ok {
-		// An owner that was idle (or drained its queue) rejoins the
-		// ring at the tail, behind everyone currently waiting.
-		s.order = append(s.order, o)
+		if s.idling && s.hasCur && o == s.curOwner && r.At < s.idleEnd {
+			// The anticipated request arrived inside the grace: the
+			// holder resumes its slice at the ring head. Head insertion
+			// keeps the serve-the-head invariant — everyone else stays
+			// queued behind the continuing slice, in order.
+			s.order = append(s.order, 0)
+			copy(s.order[1:], s.order)
+			s.order[0] = o
+			s.idling = false
+		} else {
+			// An owner that was idle (or drained its queue) rejoins the
+			// ring at the tail, behind everyone currently waiting.
+			s.order = append(s.order, o)
+		}
 	}
 	s.queues[o] = append(q, r)
 	s.n++
 }
 
+// NextKick implements IdleHint: while idling with other requests
+// queued, ask to be re-polled at the grace deadline.
+func (s *cfq) NextKick(now sim.Time) (sim.Time, bool) {
+	if s.idling && s.n > 0 && s.idleEnd > now {
+		return s.idleEnd, true
+	}
+	return 0, false
+}
+
 func (s *cfq) Pop(now sim.Time, head int64) *IORequest {
+	if s.grace > 0 && s.hasCur {
+		if _, live := s.queues[s.curOwner]; live {
+			s.idling = false
+		} else if now < s.sliceEnd {
+			// Holder drained mid-slice: idle for the grace window
+			// rather than rotating, anticipating its next request.
+			if !s.idling {
+				s.idling = true
+				s.idleEnd = now + s.grace
+				if s.idleEnd > s.sliceEnd {
+					s.idleEnd = s.sliceEnd
+				}
+			}
+			if now < s.idleEnd {
+				return nil
+			}
+			// Grace expired with no arrival: give up the slice.
+			s.idling = false
+			s.hasCur = false
+		} else {
+			s.idling = false
+			s.hasCur = false
+		}
+	}
 	if s.n == 0 {
 		return nil
 	}

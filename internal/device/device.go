@@ -85,6 +85,17 @@ type Device interface {
 	Sectors() int64
 	// Name identifies the device model for reports.
 	Name() string
+	// MinLatency reports a strict lower bound on the service time of
+	// any successfully submitted request: Submit(at, req) returns
+	// done >= at + MinLatency() whenever err is nil. It is the
+	// cost-model-derived lookahead the sharded kernel uses for
+	// shared-device partitioning — a device shard whose earliest
+	// pending work is at time t cannot produce a completion before
+	// t + MinLatency, so every other shard may safely run that far
+	// ahead. Error completions (validation, injected faults) may
+	// finish instantly and are exempt; the queue routes them through
+	// the clamped mailbox path instead.
+	MinLatency() sim.Time
 	// Stats returns a snapshot of accumulated counters.
 	Stats() Stats
 	// ResetStats zeroes the counters (between benchmark phases).

@@ -57,6 +57,12 @@ func (f *Faulty) ServiceWidth() int {
 	return 1
 }
 
+// MinLatency implements Device by forwarding the inner bound.
+// Injected faults complete instantly at the submission time, but
+// MinLatency only promises a floor for *successful* requests — error
+// completions take the clamped mailbox path in sharded runs.
+func (f *Faulty) MinLatency() sim.Time { return f.Inner.MinLatency() }
+
 // Stats implements Device. Error counts accumulate on the wrapper;
 // successful traffic counts on the inner device.
 func (f *Faulty) Stats() Stats {

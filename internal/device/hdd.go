@@ -72,6 +72,11 @@ func (h *HDD) Name() string { return h.cfg.Name }
 // Sectors implements Device.
 func (h *HDD) Sectors() int64 { return h.sectors }
 
+// MinLatency implements Device: the fixed per-command controller
+// overhead is added after the (non-negative) noised mechanical and
+// transfer time, so no successful request can finish faster.
+func (h *HDD) MinLatency() sim.Time { return h.cfg.CommandOverhead }
+
 // Stats implements Device.
 func (h *HDD) Stats() Stats { return h.stats }
 

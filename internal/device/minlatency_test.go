@@ -1,0 +1,89 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestMinLatencyIsStrictLowerBound is the property the shared-device
+// kernel's lookahead rests on: for every device model and any request
+// mix, a successful Submit at time t never completes before
+// t + MinLatency(). A violation here is a time-travel bug in the
+// sharded engine, not a small inaccuracy.
+func TestMinLatencyIsStrictLowerBound(t *testing.T) {
+	devs := []struct {
+		name string
+		dev  Device
+	}{
+		{"hdd", NewHDD(DefaultHDD(), sim.NewRNG(1))},
+		{"ssd", NewSSD(DefaultSSD(), sim.NewRNG(2))},
+		{"nvme", NewNVMe(DefaultNVMe(), sim.NewRNG(3))},
+		{"ramdisk", NewRAMDisk(1 << 30)},
+		{"faulty", NewFaulty(NewHDD(DefaultHDD(), sim.NewRNG(4)), FaultPolicy{}, sim.NewRNG(5))},
+	}
+	for _, tc := range devs {
+		t.Run(tc.name, func(t *testing.T) {
+			ml := tc.dev.MinLatency()
+			if ml <= 0 {
+				t.Fatalf("MinLatency() = %v, want > 0 (zero lookahead cannot shard)", ml)
+			}
+			rng := sim.NewRNG(99)
+			var now sim.Time
+			for i := 0; i < 500; i++ {
+				op := Read
+				if rng.Int63n(2) == 1 {
+					op = Write
+				}
+				// Mix sequential and random, single and large transfers,
+				// back-to-back and spaced arrivals.
+				lba := rng.Int63n(tc.dev.Sectors() - 256)
+				if i%3 == 0 {
+					lba = int64(i) * 8 % (tc.dev.Sectors() - 256)
+				}
+				at := now + sim.Time(rng.Int63n(int64(sim.Millisecond)))
+				done, err := tc.dev.Submit(at, Request{Op: op, LBA: lba, Sectors: 8 + rng.Int63n(248)})
+				if err != nil {
+					t.Fatalf("submit %d: %v", i, err)
+				}
+				if done < at+ml {
+					t.Fatalf("submit %d: done=%v < at+MinLatency=%v (at=%v ml=%v)",
+						i, done, at+ml, at, ml)
+				}
+				now = at
+			}
+		})
+	}
+}
+
+// TestFaultyMinLatencyForwards pins the wrapper behavior: fault
+// injection changes error outcomes, not the inner cost model.
+func TestFaultyMinLatencyForwards(t *testing.T) {
+	inner := NewHDD(DefaultHDD(), sim.NewRNG(1))
+	f := NewFaulty(inner, FaultPolicy{ReadErrProb: 0.5}, sim.NewRNG(2))
+	if got, want := f.MinLatency(), inner.MinLatency(); got != want {
+		t.Fatalf("Faulty.MinLatency() = %v, want inner's %v", got, want)
+	}
+}
+
+// TestMinLatencyValues pins each model's bound to the config field it
+// derives from, so a cost-model edit that invalidates the bound shows
+// up here instead of as a sharded-run anachronism.
+func TestMinLatencyValues(t *testing.T) {
+	hdd := DefaultHDD()
+	if got := NewHDD(hdd, sim.NewRNG(1)).MinLatency(); got != hdd.CommandOverhead {
+		t.Errorf("hdd MinLatency = %v, want CommandOverhead %v", got, hdd.CommandOverhead)
+	}
+	nvme := DefaultNVMe()
+	if got := NewNVMe(nvme, sim.NewRNG(1)).MinLatency(); got != nvme.CmdOverhead {
+		t.Errorf("nvme MinLatency = %v, want CmdOverhead %v", got, nvme.CmdOverhead)
+	}
+	ssd := DefaultSSD()
+	want := ssd.ReadLatency
+	if ssd.WriteLatency < want {
+		want = ssd.WriteLatency
+	}
+	if got := NewSSD(ssd, sim.NewRNG(1)).MinLatency(); got != want/2 {
+		t.Errorf("ssd MinLatency = %v, want min(read,write)/2 = %v", got, want/2)
+	}
+}

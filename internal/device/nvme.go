@@ -83,6 +83,11 @@ func (n *NVMe) Name() string { return n.cfg.Name }
 // Sectors implements Device.
 func (n *NVMe) Sectors() int64 { return n.sectors }
 
+// MinLatency implements Device: CmdOverhead is charged outside the
+// noise term and the noised flash time is clamped non-negative, so
+// the fixed command overhead lower-bounds every successful request.
+func (n *NVMe) MinLatency() sim.Time { return n.cfg.CmdOverhead }
+
 // Stats implements Device.
 func (n *NVMe) Stats() Stats { return n.stats }
 

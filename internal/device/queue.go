@@ -45,8 +45,13 @@ type Queue struct {
 	dev   Device
 	loop  *sim.EventLoop
 	sched Scheduler
+	hint  IdleHint // sched's idle-timer interface, nil if not implemented
 	depth int
 	width int // service bound: max requests in flight at the device
+
+	// kickPending dedupes hint-driven kicks: at most one timer event
+	// is outstanding at a time.
+	kickPending bool
 
 	// backlog holds requests admitted beyond the window, FIFO.
 	// backlogHead indexes the front: pops advance it in O(1) and the
@@ -157,7 +162,9 @@ func NewQueue(dev Device, sched Scheduler, depth int, loop *sim.EventLoop) *Queu
 			width = w
 		}
 	}
-	return &Queue{dev: dev, loop: loop, sched: sched, depth: depth, width: width}
+	q := &Queue{dev: dev, loop: loop, sched: sched, depth: depth, width: width}
+	q.hint, _ = sched.(IdleHint)
+	return q
 }
 
 // Scheduler exposes the active policy.
@@ -203,10 +210,33 @@ func (q *Queue) Pending() int {
 // non-nil, is invoked in loop context at the request's completion time;
 // fire-and-forget submissions pass nil.
 func (q *Queue) Submit(at sim.Time, req Request, done func(sim.Time, error)) {
+	q.submit(at, req, done, nil)
+}
+
+// A RemoteSender forwards an event to the shard a request came from:
+// fn must run on that shard's loop at virtual time at. The sharded
+// engine backs it with ShardedLoop.Send from the device shard to the
+// submitting thread shard.
+type RemoteSender func(at sim.Time, fn func())
+
+// SubmitRemote enqueues a request on behalf of another shard: done is
+// not invoked locally but mailed through send at the completion time.
+// Because the device promises done >= dispatch + MinLatency and the
+// sharded engine's lookahead never exceeds MinLatency, the completion
+// mail — sent at dispatch, stamped with the completion time — is
+// never clamped: the submitting thread resumes at the exact virtual
+// time it would have in a single-loop run. Only requests that error
+// at dispatch (validation, injected faults) complete through the
+// clamped path, one lookahead late.
+func (q *Queue) SubmitRemote(at sim.Time, req Request, send RemoteSender, done func(sim.Time, error)) {
+	q.submit(at, req, done, send)
+}
+
+func (q *Queue) submit(at sim.Time, req Request, done func(sim.Time, error), remote RemoteSender) {
 	if now := q.loop.Now(); at < now {
 		at = now
 	}
-	r := &IORequest{Req: req, At: at, Seq: q.seq, Done: done, queue: q}
+	r := &IORequest{Req: req, At: at, Seq: q.seq, Done: done, queue: q, remote: remote}
 	q.seq++
 	q.stats.Submitted++
 	if q.sched.Len() < q.depth {
@@ -234,7 +264,24 @@ func (q *Queue) Kick(at sim.Time) {
 	if now := q.loop.Now(); at < now {
 		at = now
 	}
-	q.loop.Schedule(at, func() { q.dispatch(q.loop.Now()) })
+	q.loop.ScheduleTarget(at, q)
+}
+
+// RunEvent implements sim.EventTarget for Kick timers: re-ask the
+// scheduler without allocating a closure per kick.
+func (q *Queue) RunEvent() {
+	q.kickPending = false
+	q.dispatch(q.loop.Now())
+}
+
+// IdleHint is implemented by schedulers that deliberately return nil
+// from Pop while holding requests (anticipatory idling). After such a
+// refusal the Queue asks NextKick when to re-dispatch and arms a Kick
+// timer for that instant; at most one hint-driven kick is pending at
+// a time. ok=false means no timer is wanted (the next Push will
+// trigger dispatch anyway).
+type IdleHint interface {
+	NextKick(now sim.Time) (at sim.Time, ok bool)
 }
 
 // dispatch starts service of the scheduler's next picks at time now,
@@ -249,21 +296,48 @@ func (q *Queue) dispatch(now sim.Time) {
 	for q.inflight < q.width {
 		r := q.sched.Pop(now, q.head)
 		if r == nil {
+			// The scheduler may be idling on purpose; let it arm a
+			// re-dispatch timer.
+			if q.hint != nil && !q.kickPending {
+				if at, ok := q.hint.NextKick(now); ok {
+					q.kickPending = true
+					q.Kick(at)
+				}
+			}
 			return
 		}
 		q.admit()
 		done, err := q.dev.Submit(now, r.Req)
 		if err != nil {
 			q.stats.Errors++
-			q.loop.Schedule(now, func() { q.finish(r, now, err) })
+			if r.remote != nil {
+				r.sendRemote(now, err)
+			} else {
+				q.loop.Schedule(now, func() { q.finish(r, now, err) })
+			}
 			continue
 		}
 		q.stats.Wait += now - r.At
 		q.stats.ownerAdd(r.Req.Owner, now-r.At, 0)
 		q.inflight++
 		q.head = r.Req.LBA + r.Req.Sectors
+		if r.remote != nil {
+			// Mail the completion now, stamped with its (exact) future
+			// completion time; local bookkeeping still runs at done via
+			// the scheduled target below.
+			r.sendRemote(done, nil)
+		}
 		q.loop.ScheduleTarget(done, r)
 	}
+}
+
+// sendRemote mails a completion to the submitting shard.
+func (r *IORequest) sendRemote(done sim.Time, err error) {
+	if r.Done == nil {
+		return
+	}
+	cb := r.Done
+	r.remote(done, func() { cb(done, err) })
 }
 
 // admit moves the oldest backlog entry into the freed window slot.
@@ -308,6 +382,11 @@ func (q *Queue) finish(r *IORequest, at sim.Time, err error) {
 	if err == nil {
 		q.stats.Completed++
 		q.stats.ownerAdd(r.Req.Owner, 0, 1)
+	}
+	if r.remote != nil {
+		// The completion was already mailed to the owning shard at
+		// dispatch; only the local bookkeeping above runs here.
+		return
 	}
 	if r.Done != nil {
 		r.Done(at, err)

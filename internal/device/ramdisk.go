@@ -35,6 +35,10 @@ func (r *RAMDisk) Name() string { return r.name }
 // Sectors implements Device.
 func (r *RAMDisk) Sectors() int64 { return r.sectors }
 
+// MinLatency implements Device: the fixed access latency is the
+// per-request floor (transfer time only adds to it).
+func (r *RAMDisk) MinLatency() sim.Time { return r.latency }
+
 // Stats implements Device.
 func (r *RAMDisk) Stats() Stats { return r.stats }
 

@@ -23,6 +23,10 @@ type IORequest struct {
 	// request itself be the scheduled completion event (sim.EventTarget)
 	// so the dispatch hot path allocates no closure per request.
 	queue *Queue
+	// remote, when non-nil, marks a SubmitRemote request: Done must
+	// run on the submitting shard, so the queue mails the completion
+	// through this sender instead of invoking Done locally.
+	remote RemoteSender
 }
 
 // RunEvent implements sim.EventTarget: the request's service has
@@ -57,6 +61,10 @@ const (
 	SchedElevator = "elevator"
 	SchedNCQ      = "ncq"
 	SchedCFQ      = "cfq"
+	// SchedCFQIdle is CFQ with anticipatory idling. It is a separate
+	// name, not a change to "cfq": recorded results for existing cfq
+	// configurations must not drift.
+	SchedCFQIdle = "cfq-idle"
 )
 
 // DefaultScheduler is the policy used when none is named: the
@@ -76,8 +84,10 @@ func NewScheduler(name string) (Scheduler, error) {
 		return &ncq{}, nil
 	case SchedCFQ:
 		return newCFQ(), nil
+	case SchedCFQIdle:
+		return newCFQIdle(), nil
 	}
-	return nil, fmt.Errorf("device: unknown scheduler %q (want fcfs, elevator, ncq, cfq)", name)
+	return nil, fmt.Errorf("device: unknown scheduler %q (want fcfs, elevator, ncq, cfq, cfq-idle)", name)
 }
 
 // fcfs services requests strictly in arrival order. Queue depth has no

@@ -62,6 +62,18 @@ func (s *SSD) Name() string { return s.cfg.Name }
 // Sectors implements Device.
 func (s *SSD) Sectors() int64 { return s.sectors }
 
+// MinLatency implements Device. Service is base flash latency plus
+// transfer, multiplied by noise clamped to no less than 0.5x — so
+// half the cheaper of the two flash latencies lower-bounds every
+// successful request.
+func (s *SSD) MinLatency() sim.Time {
+	min := s.cfg.ReadLatency
+	if s.cfg.WriteLatency < min {
+		min = s.cfg.WriteLatency
+	}
+	return min / 2
+}
+
 // Stats implements Device.
 func (s *SSD) Stats() Stats { return s.stats }
 

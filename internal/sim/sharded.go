@@ -36,6 +36,22 @@ import "sort"
 type ShardedLoop struct {
 	lookahead Time
 	shards    []*loopShard
+
+	// Topology, when declared via SetTopology: senders[dst] lists the
+	// shards allowed to Send to dst, and allowed[src][dst] guards the
+	// contract at Send time. A nil topology means all-to-all with the
+	// original uniform window (minNext + lookahead) — declared
+	// topologies switch Run to per-shard horizons computed by
+	// Chandy-Misra earliest-output-time relaxation, which lets a shard
+	// with distant inputs run far ahead of a hot neighbor.
+	senders [][]int
+	allowed [][]bool
+
+	// Scratch buffers reused across windows so the barrier itself
+	// allocates nothing in steady state.
+	routeBuf []routedMail
+	eot      []Time // earliest possible future send, per shard
+	horizon  []Time // per-shard safe horizon (earliest input time)
 }
 
 // loopShard is one shard: its loop, its barrier channels, and the
@@ -53,6 +69,13 @@ type mail struct {
 	dst int
 	at  Time
 	fn  func()
+}
+
+// routedMail is a mail item tagged with its (source, outbox index)
+// origin for the deterministic barrier merge.
+type routedMail struct {
+	mail
+	src, idx int
 }
 
 // NewShardedLoop returns n shards whose clocks start at the given
@@ -89,6 +112,53 @@ func (sl *ShardedLoop) Lookahead() Time { return sl.lookahead }
 // only code executing on shard i may touch it.
 func (sl *ShardedLoop) Shard(i int) *EventLoop { return sl.shards[i].loop }
 
+// SetTopology declares the cross-shard communication graph:
+// edges[src] lists every dst that src may Send to. Declaring the
+// topology does two things. It turns undeclared Sends into panics
+// (the horizon math below is only sound for declared edges), and it
+// switches Run from one uniform window to per-shard horizons — shard
+// i may run every event earlier than the earliest mail its declared
+// senders could still produce, so a shard whose inputs are quiet is
+// not barrier-stalled by an unrelated hot shard.
+//
+// SetTopology must be called before Run. Passing nil restores the
+// default all-to-all uniform-window behavior, which is kept
+// bit-identical to the pre-topology kernel: per-shard horizons can
+// legitimately place the same send in a different window than the
+// uniform schedule would, which permutes same-timestamp merge order,
+// so existing replica-mode results only stay frozen because nil
+// topology takes the exact original code path.
+func (sl *ShardedLoop) SetTopology(edges [][]int) {
+	if edges == nil {
+		sl.senders, sl.allowed = nil, nil
+		return
+	}
+	n := len(sl.shards)
+	if len(edges) != n {
+		panic("sim: topology must list edges for every shard")
+	}
+	sl.senders = make([][]int, n)
+	sl.allowed = make([][]bool, n)
+	for src := range sl.allowed {
+		sl.allowed[src] = make([]bool, n)
+	}
+	for src, dsts := range edges {
+		for _, dst := range dsts {
+			if dst < 0 || dst >= n {
+				panic("sim: topology edge to unknown shard")
+			}
+			if dst == src {
+				panic("sim: topology self-edge (local events need no mailbox)")
+			}
+			if sl.allowed[src][dst] {
+				panic("sim: duplicate topology edge")
+			}
+			sl.allowed[src][dst] = true
+			sl.senders[dst] = append(sl.senders[dst], src)
+		}
+	}
+}
+
 // Send schedules fn on shard dst at virtual time at, from code
 // running on shard src. Delivery below src's now+lookahead is clamped
 // up to it — the lookahead contract is what makes the window safe.
@@ -96,6 +166,9 @@ func (sl *ShardedLoop) Shard(i int) *EventLoop { return sl.shards[i].loop }
 // barrier; buffering is safe precisely because the clamped delivery
 // time can never fall inside the current window.
 func (sl *ShardedLoop) Send(src, dst int, at Time, fn func()) {
+	if sl.allowed != nil && !sl.allowed[src][dst] {
+		panic("sim: Send on an edge not declared in the topology")
+	}
 	s := sl.shards[src]
 	if min := s.loop.Now() + sl.lookahead; at < min {
 		at = min
@@ -111,6 +184,23 @@ func (sl *ShardedLoop) Run() {
 	for _, s := range sl.shards {
 		go s.serve()
 	}
+	if sl.senders == nil {
+		sl.runUniform()
+	} else {
+		sl.runTopology()
+	}
+	for _, s := range sl.shards {
+		close(s.run)
+	}
+	for _, s := range sl.shards {
+		<-s.done
+	}
+}
+
+// runUniform is the original all-to-all schedule: one global window
+// minNext+lookahead, every shard released every round. Replica-mode
+// callers depend on this exact schedule for bit-identical results.
+func (sl *ShardedLoop) runUniform() {
 	for {
 		sl.deliver()
 		horizon, ok := sl.minNext()
@@ -125,11 +215,100 @@ func (sl *ShardedLoop) Run() {
 			<-s.done
 		}
 	}
-	for _, s := range sl.shards {
-		close(s.run)
+}
+
+// maxTime is the open horizon a shard gets when its inputs can never
+// produce earlier mail (e.g. no declared senders).
+const maxTime = Time(1<<63 - 1)
+
+// runTopology advances per-shard horizons over the declared graph.
+//
+// For each shard j define EOT(j), a lower bound on the timestamp of
+// any mail j can still produce: j's code only runs inside an event,
+// its earliest future event is min(next_j, earliest incoming mail),
+// and every Send is clamped to now+lookahead, so
+//
+//	EOT(j) = min(next_j, min over k∈senders(j) EOT(k)) + lookahead
+//
+// This is a fixpoint; starting from EOT(j) = next_j + lookahead and
+// relaxing n times converges because each relaxation can only pull a
+// value down toward the global minimum plus lookahead, never below it
+// (lookahead ≥ 1 keeps cycles from ratcheting downward). Shard i's
+// safe horizon is then its earliest-input-time
+//
+//	horizon(i) = min over k∈senders(i) EOT(k)
+//
+// — every event before it is causally independent of all future
+// mail. The shard holding the global minimum next-event time always
+// satisfies horizon > next (its inputs' EOT is at least
+// global-min + lookahead), so every round makes progress. Shards with
+// no event inside their horizon are not released at all: they skip
+// the channel round-trip entirely, which is what keeps hot-device
+// topologies from barrier-stalling quiet thread shards.
+//
+// The released set and every horizon are pure functions of heap
+// state, so the schedule — and with it the (at, src, idx) merge order
+// of same-timestamp mail — is identical on every run regardless of
+// GOMAXPROCS or goroutine interleaving.
+func (sl *ShardedLoop) runTopology() {
+	n := len(sl.shards)
+	if sl.eot == nil {
+		sl.eot = make([]Time, n)
+		sl.horizon = make([]Time, n)
 	}
-	for _, s := range sl.shards {
-		<-s.done
+	for {
+		sl.deliver()
+		if _, ok := sl.minNext(); !ok {
+			break
+		}
+		for j, s := range sl.shards {
+			if t, ok := s.loop.NextTime(); ok {
+				sl.eot[j] = t + sl.lookahead
+			} else {
+				sl.eot[j] = maxTime
+			}
+		}
+		for round := 0; round < n; round++ {
+			changed := false
+			for j := range sl.shards {
+				in := maxTime
+				for _, k := range sl.senders[j] {
+					if sl.eot[k] < in {
+						in = sl.eot[k]
+					}
+				}
+				if in != maxTime && in+sl.lookahead < sl.eot[j] {
+					sl.eot[j] = in + sl.lookahead
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		released := 0
+		for i, s := range sl.shards {
+			w := maxTime
+			for _, k := range sl.senders[i] {
+				if sl.eot[k] < w {
+					w = sl.eot[k]
+				}
+			}
+			sl.horizon[i] = 0
+			if t, ok := s.loop.NextTime(); ok && t < w {
+				sl.horizon[i] = w
+				s.run <- w
+				released++
+			}
+		}
+		if released == 0 {
+			panic("sim: topology window made no progress")
+		}
+		for i, s := range sl.shards {
+			if sl.horizon[i] != 0 {
+				<-s.done
+			}
+		}
 	}
 }
 
@@ -150,14 +329,10 @@ func (s *loopShard) serve() {
 // interleaving can influence. Runs in coordinator context, between
 // barriers.
 func (sl *ShardedLoop) deliver() {
-	type routed struct {
-		mail
-		src, idx int
-	}
-	var all []routed
+	all := sl.routeBuf[:0]
 	for _, s := range sl.shards {
 		for i, m := range s.outbox {
-			all = append(all, routed{mail: m, src: s.id, idx: i})
+			all = append(all, routedMail{mail: m, src: s.id, idx: i})
 		}
 		s.outbox = s.outbox[:0]
 	}
@@ -179,6 +354,12 @@ func (sl *ShardedLoop) deliver() {
 	for _, m := range all {
 		sl.shards[m.dst].loop.Schedule(m.at, m.fn)
 	}
+	// Keep the buffer for the next window, dropping closure refs so
+	// delivered events are collectable once they run.
+	for i := range all {
+		all[i] = routedMail{}
+	}
+	sl.routeBuf = all[:0]
 }
 
 // minNext reports the earliest pending event time across shards.

@@ -178,7 +178,7 @@ func (m *Mount) Read(at sim.Time, fd *FD, offset, size int64) (int64, sim.Time, 
 		}
 	}
 	m.stats.BytesRead += size
-	if m.queue == nil {
+	if m.sub == nil {
 		// Immediate mode: inline flush. Event mode leaves flushing to
 		// the daemon — read paths are never throttled on dirty state.
 		m.maybeWriteback(now)

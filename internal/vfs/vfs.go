@@ -70,7 +70,7 @@ type Config struct {
 	// depth 1 every scheduler degenerates to FCFS.
 	QueueDepth int
 	// Scheduler names the I/O scheduler for event-driven runs:
-	// "fcfs", "elevator", "ncq", "cfq" ("" selects
+	// "fcfs", "elevator", "ncq", "cfq", "cfq-idle" ("" selects
 	// device.DefaultScheduler).
 	Scheduler string
 }
@@ -132,6 +132,14 @@ type Mount struct {
 	// Event mode (nil outside BeginEvents..EndEvents).
 	loop  *sim.EventLoop
 	queue *device.Queue
+	// sub is where event-mode submissions go: the mount's own queue
+	// under BeginEvents, or a caller-provided bridge (the sharded
+	// engine's cross-shard mailbox to the device shard) under
+	// BeginEventsBridged. sub == nil means immediate mode.
+	sub Submitter
+	// asyncPool recycles deferred-submission events (submitAsync) so
+	// the fire-and-forget hot path allocates no closures.
+	asyncPool []*asyncReq
 	// cur is the process currently holding the baton. Every yield
 	// point restores it (together with curOwner) on resume, so nested
 	// blocking submissions inside one VFS call chain stay bound to
@@ -205,6 +213,15 @@ func (m *Mount) Readahead() cache.Readahead { return m.ra }
 
 // --- Event mode ------------------------------------------------------
 
+// Submitter is where event-mode submissions go. *device.Queue
+// implements it; the sharded engine implements it with a cross-shard
+// bridge so a mount on a thread shard can submit to a queue owned by
+// the device shard. done, when non-nil, must be invoked in the
+// submitting loop's context at the request's completion time.
+type Submitter interface {
+	Submit(at sim.Time, req device.Request, done func(sim.Time, error))
+}
+
 // BeginEvents switches the mount into event mode on loop: a
 // device.Queue (sized by Config.QueueDepth, drained by
 // Config.Scheduler) is placed in front of the device, the write-back
@@ -216,14 +233,43 @@ func (m *Mount) BeginEvents(loop *sim.EventLoop) error {
 	if err != nil {
 		return err
 	}
-	m.loop = loop
 	m.queue = device.NewQueue(m.Dev, sched, m.cfg.QueueDepth, loop)
-	m.flusherStop = false
-	loop.Go(loop.Now(), m.flusherMain)
+	m.beginEvents(loop, m.queue)
 	return nil
 }
 
-// EndEvents leaves event mode, returning the drained queue's counters.
+// BeginEventsBridged switches the mount into event mode with no queue
+// of its own: submissions go through sub, which the shared-device
+// sharding mode backs with mailbox edges to the queue on the device
+// shard. Everything else — write-back daemon, dirty throttling,
+// parked processes — runs locally on loop exactly as under
+// BeginEvents.
+func (m *Mount) BeginEventsBridged(loop *sim.EventLoop, sub Submitter) {
+	m.queue = nil
+	m.beginEvents(loop, sub)
+}
+
+func (m *Mount) beginEvents(loop *sim.EventLoop, sub Submitter) {
+	m.loop = loop
+	m.sub = sub
+	m.flusherStop = false
+	loop.Go(loop.Now(), m.flusherMain)
+}
+
+// NewQueue builds a device queue per this mount's configuration
+// (scheduler, depth) on loop, without entering event mode. The
+// sharded engine uses it to place the one shared queue on the device
+// shard while the mounts themselves run bridged.
+func (m *Mount) NewQueue(loop *sim.EventLoop) (*device.Queue, error) {
+	sched, err := device.NewScheduler(m.cfg.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	return device.NewQueue(m.Dev, sched, m.cfg.QueueDepth, loop), nil
+}
+
+// EndEvents leaves event mode, returning the drained queue's counters
+// (zero for a bridged mount — the shared queue's owner reports them).
 // The caller must have run the loop dry first.
 func (m *Mount) EndEvents() device.QueueStats {
 	stats := device.QueueStats{}
@@ -231,6 +277,7 @@ func (m *Mount) EndEvents() device.QueueStats {
 		stats = m.queue.Stats()
 	}
 	m.loop, m.queue, m.cur = nil, nil, nil
+	m.sub = nil
 	m.curOwner = device.OwnerNone
 	m.flusherStop = true
 	m.dirtyWaiters = nil
@@ -266,7 +313,7 @@ func (m *Mount) StopWriteback() { m.flusherStop = true }
 func (m *Mount) flusherMain(p *sim.Proc) {
 	for {
 		p.Sleep(m.cfg.WritebackInterval)
-		if m.flusherStop || m.queue == nil {
+		if m.flusherStop || m.sub == nil {
 			return
 		}
 		m.flusherRound(p.Now())
@@ -315,7 +362,7 @@ func (m *Mount) flushBatch(at sim.Time) int {
 		if !ok {
 			continue // re-dirtied while a previous flush is still in flight
 		}
-		m.queue.Submit(at, device.Request{
+		m.sub.Submit(at, device.Request{
 			Op: device.Write, LBA: lba, Sectors: sectorsPerBlock, Owner: device.OwnerDaemon,
 		}, func(_ sim.Time, _ error) { m.endWriteback(id, gen) })
 		issued++
@@ -373,7 +420,7 @@ func (m *Mount) dirtyHighPages() int {
 // operation: a writer outrunning the device pays the stall in its own
 // latency.
 func (m *Mount) balanceDirty(at sim.Time) sim.Time {
-	if m.queue == nil || m.cur == nil {
+	if m.sub == nil || m.cur == nil {
 		m.maybeWriteback(at)
 		return at
 	}
@@ -406,7 +453,7 @@ func (m *Mount) balanceDirty(at sim.Time) sim.Time {
 // durability before their completion events fire. It returns the
 // (possibly advanced) virtual time.
 func (m *Mount) waitWriteback(at sim.Time) sim.Time {
-	if m.queue == nil || m.cur == nil || m.PC.L1.WritebackCount() == 0 {
+	if m.sub == nil || m.cur == nil || m.PC.L1.WritebackCount() == 0 {
 		return at
 	}
 	p, owner := m.cur, m.curOwner
@@ -434,7 +481,7 @@ func (m *Mount) stampOwner(req *device.Request) {
 // event fires. The returned time includes queueing delay.
 func (m *Mount) submitSync(at sim.Time, req device.Request) (sim.Time, error) {
 	m.stampOwner(&req)
-	if m.queue == nil || m.cur == nil {
+	if m.sub == nil || m.cur == nil {
 		return m.Dev.Submit(at, req)
 	}
 	p, owner := m.cur, m.curOwner
@@ -442,7 +489,7 @@ func (m *Mount) submitSync(at sim.Time, req device.Request) (sim.Time, error) {
 	m.cur, m.curOwner = p, owner // restore after a potential yield
 	var done sim.Time
 	var rerr error
-	m.queue.Submit(p.Now(), req, func(t sim.Time, err error) {
+	m.sub.Submit(p.Now(), req, func(t sim.Time, err error) {
 		done, rerr = t, err
 		p.Unpark()
 	})
@@ -462,14 +509,42 @@ func (m *Mount) submitSync(at sim.Time, req device.Request) (sim.Time, error) {
 // nil and failures reach onErr (or just the queue's error counter).
 func (m *Mount) submitAsync(at sim.Time, req device.Request, onErr func(error)) error {
 	m.stampOwner(&req)
-	if m.queue == nil {
+	if m.sub == nil {
 		_, err := m.Dev.Submit(at, req)
 		if err != nil && onErr != nil {
 			onErr(err)
 		}
 		return err
 	}
-	q := m.queue
+	var a *asyncReq
+	if n := len(m.asyncPool); n > 0 {
+		a = m.asyncPool[n-1]
+		m.asyncPool = m.asyncPool[:n-1]
+	} else {
+		a = new(asyncReq)
+	}
+	*a = asyncReq{m: m, at: at, req: req, onErr: onErr}
+	m.loop.ScheduleTarget(at, a)
+	return nil
+}
+
+// asyncReq is a pooled deferred submission: submitAsync schedules it
+// as the arrival event (instead of a closure) so journal pushes,
+// eviction write-back, and prefetch issue zero allocations per
+// request on the common no-error-handler path.
+type asyncReq struct {
+	m     *Mount
+	at    sim.Time
+	req   device.Request
+	onErr func(error)
+}
+
+// RunEvent implements sim.EventTarget: the arrival instant came due,
+// submit for real and recycle.
+func (a *asyncReq) RunEvent() {
+	m, at, req, onErr := a.m, a.at, a.req, a.onErr
+	*a = asyncReq{}
+	m.asyncPool = append(m.asyncPool, a)
 	var done func(sim.Time, error)
 	if onErr != nil {
 		done = func(_ sim.Time, err error) {
@@ -478,8 +553,7 @@ func (m *Mount) submitAsync(at sim.Time, req device.Request, onErr func(error)) 
 			}
 		}
 	}
-	m.loop.Schedule(at, func() { q.Submit(at, req, done) })
-	return nil
+	m.sub.Submit(at, req, done)
 }
 
 // submitBatchSync issues a set of requests and blocks until all of
@@ -494,7 +568,7 @@ func (m *Mount) submitBatchSync(at sim.Time, reqs []device.Request) (sim.Time, e
 	for i := range reqs {
 		m.stampOwner(&reqs[i])
 	}
-	if m.queue == nil || m.cur == nil {
+	if m.sub == nil || m.cur == nil {
 		return device.SubmitBatch(m.Dev, at, reqs)
 	}
 	p, owner := m.cur, m.curOwner
@@ -504,7 +578,7 @@ func (m *Mount) submitBatchSync(at sim.Time, reqs []device.Request) (sim.Time, e
 	var last sim.Time
 	var firstErr error
 	for _, r := range reqs {
-		m.queue.Submit(p.Now(), r, func(t sim.Time, err error) {
+		m.sub.Submit(p.Now(), r, func(t sim.Time, err error) {
 			remaining--
 			if t > last {
 				last = t
@@ -730,11 +804,16 @@ func (m *Mount) flushSync(at sim.Time, ids []cache.PageID) (sim.Time, error) {
 	}
 	if len(marked) > 0 && m.loop != nil {
 		// The write-back population just dropped: let throttled
-		// writers re-check (in loop context, as Unpark requires).
-		m.loop.Schedule(done, func() { m.wakeDirtyWaiters() })
+		// writers re-check (in loop context, as Unpark requires). The
+		// mount itself is the event target — no closure per flush.
+		m.loop.ScheduleTarget(done, m)
 	}
 	return done, err
 }
+
+// RunEvent implements sim.EventTarget for flushSync's scheduled
+// wake-up of the dirty-wait list.
+func (m *Mount) RunEvent() { m.wakeDirtyWaiters() }
 
 // SyncAll flushes every dirty page and the file-system journal,
 // returning when the device is quiet. Benchmarks call it between

@@ -88,6 +88,11 @@ type Record struct {
 	// shards>1 runs model N replica stacks, not one shared device
 	// (DESIGN.md §9). Absent (0) means the single-loop kernel.
 	Shards int `json:"shards,omitempty"`
+	// ShardMode is the shard topology ("" = replica). Unlike the
+	// replica shard count, a non-empty mode changes what is measured
+	// (one contended device, an N-way cache split), so it — and the
+	// shard count with it — enters the Fingerprint; see Fingerprint.
+	ShardMode string `json:"shard_mode,omitempty"`
 
 	// Measures.
 	Throughput stats.Summary      `json:"throughput"`
@@ -108,17 +113,26 @@ type Record struct {
 // The stack line serializes through StackConfig.String (%+v resolves
 // the Stringer), which is the frozen surface every committed baseline
 // fingerprint was recorded against: TestFingerprintFrozenSerialization
-// pins the bytes. Shards is zeroed first — the shard count is an
-// execution knob like Parallelism, not part of what is measured, so
-// records at any shard count pool under one fingerprint; it is
-// archived as Record metadata instead (DESIGN.md §9).
+// pins the bytes. In replica mode (ShardMode == "") Shards is zeroed
+// first — the replica shard count is an execution knob like
+// Parallelism, not part of what is measured, so records at any shard
+// count pool under one fingerprint; it is archived as Record metadata
+// instead (DESIGN.md §9). When ShardMode is set, the mode AND the
+// shard count stay in the hash: shared-device runs split the cache
+// N ways and funnel every shard into one contended queue, so the
+// shard count changes the measured system, and pooling across counts
+// would be exactly the apples-to-oranges comparison the paper warns
+// about. Existing configs all have ShardMode == "", so their
+// fingerprints are unchanged.
 func Fingerprint(e *core.Experiment) string {
 	h := sha256.New()
 	// The VFS override is a pointer: print the pointee, never the
 	// address, or the fingerprint would differ between processes.
 	stack := e.Stack
 	stack.VFS = nil
-	stack.Shards = 0
+	if stack.ShardMode == "" {
+		stack.Shards = 0
+	}
 	fmt.Fprintf(h, "stack|%+v\n", stack)
 	if e.Stack.VFS != nil {
 		fmt.Fprintf(h, "vfs|%+v\n", *e.Stack.VFS)
@@ -164,6 +178,7 @@ func FromResult(res *core.Result, gitRev string, now time.Time) Record {
 		WindowNs:    int64(e.MeasureWindow),
 		ColdCache:   e.ColdCache,
 		Shards:      e.Stack.Shards,
+		ShardMode:   e.Stack.ShardMode,
 		Throughput:  res.Throughput,
 		Hist:        res.Hist,
 		Jain:        res.Jain,

@@ -49,6 +49,42 @@ func TestFingerprintIgnoresShards(t *testing.T) {
 	}
 }
 
+// TestFingerprintSeesShardMode is the other half of the shard-knob
+// decision: when a mode is set, the measured system changes with the
+// shard count (one contended queue, an N-way cache split), so BOTH
+// the mode and the count must move the fingerprint — pooling
+// shared-device records across shard counts would compare different
+// systems under one key.
+func TestFingerprintSeesShardMode(t *testing.T) {
+	replica := testExperiment(1)
+	replica.Stack.Shards = 4
+
+	shared := testExperiment(1)
+	shared.Stack.Shards = 4
+	shared.Stack.ShardMode = core.ShardModeSharedDevice
+	if Fingerprint(shared) == Fingerprint(replica) {
+		t.Error("shard mode did not move the fingerprint")
+	}
+
+	shared2 := testExperiment(1)
+	shared2.Stack.Shards = 2
+	shared2.Stack.ShardMode = core.ShardModeSharedDevice
+	if Fingerprint(shared) == Fingerprint(shared2) {
+		t.Error("shard count did not move a shared-device fingerprint")
+	}
+}
+
+func TestRecordCarriesShardMode(t *testing.T) {
+	e := testExperiment(1)
+	e.Stack.Shards = 2
+	e.Stack.ShardMode = core.ShardModeSharedDevice
+	res := &core.Result{Experiment: e, Hist: &metrics.Histogram{}}
+	rec := FromResult(res, "", time.Unix(0, 0))
+	if rec.ShardMode != core.ShardModeSharedDevice {
+		t.Errorf("record shard mode = %q, want %q", rec.ShardMode, core.ShardModeSharedDevice)
+	}
+}
+
 func TestFingerprintFrozenSerialization(t *testing.T) {
 	// Pins the exact fingerprint of a fixed experiment. If this
 	// changes, every committed baseline (ci/baseline.jsonl) is

@@ -387,10 +387,25 @@ func (e *Engine) Run(from, until sim.Time) (sim.Time, error) {
 // front half of Run, split out so a sharded run can begin each shard
 // engine on its own shard loop before the coordinator runs them all.
 func (e *Engine) begin(loop *sim.EventLoop, until sim.Time) error {
-	from := loop.Now()
 	if err := e.m.BeginEvents(loop); err != nil {
 		return err
 	}
+	e.beginProcs(loop, until)
+	return nil
+}
+
+// beginBridged is begin for a shared-device shard: the mount routes
+// I/O through sub (a cross-shard bridge to the device shard's queue)
+// instead of a queue of its own.
+func (e *Engine) beginBridged(loop *sim.EventLoop, until sim.Time, sub vfs.Submitter) {
+	e.m.BeginEventsBridged(loop, sub)
+	e.beginProcs(loop, until)
+}
+
+// beginProcs spawns every thread and generator process at the loop's
+// current time — the common tail of begin and beginBridged.
+func (e *Engine) beginProcs(loop *sim.EventLoop, until sim.Time) {
+	from := loop.Now()
 	// Every live thread holds one pending event (its park/unpark or
 	// completion) at a time, plus the daemon's wake-up: reserving the
 	// population up front keeps the measured phase free of heap
@@ -433,7 +448,6 @@ func (e *Engine) begin(loop *sim.EventLoop, until sim.Time) error {
 			e.generate(p, cs, until, &e.runErr)
 		})
 	}
-	return nil
 }
 
 // end leaves event mode and reports the final virtual time (max over

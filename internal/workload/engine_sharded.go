@@ -52,30 +52,93 @@ type ShardedEngine struct {
 	shards []*Engine
 	probe  *Probe
 	// Lookahead overrides the sync window width when positive; the
-	// zero value selects DefaultLookahead.
+	// zero value selects DefaultLookahead for replica mode and the
+	// device cost model's MinLatency for shared-device mode. In
+	// shared-device mode values above MinLatency are capped to it —
+	// a wider window would clamp completion mail and distort timing.
 	Lookahead sim.Time
+
+	// Shared-device mode (NewSharedDeviceEngine): the thread shards'
+	// mounts all sit on dev, and one extra shard owns sharedQ — the
+	// single device queue every submission crosses into by mailbox.
+	shared       bool
+	dev          device.Device
+	sharedQ      *device.Queue
+	sharedQStats device.QueueStats
 }
 
 // NewShardedEngine prepares one engine per mount and partitions the
 // workload's threads across them. The workload must validate; every
 // mount must be distinct and freshly built.
 func NewShardedEngine(mounts []*vfs.Mount, w *Workload, seed uint64) (*ShardedEngine, error) {
-	n := len(mounts)
-	if n < 1 {
-		return nil, fmt.Errorf("workload: sharded engine needs at least one mount")
+	if err := validateMounts(mounts); err != nil {
+		return nil, err
 	}
-	if err := w.Validate(); err != nil {
+	// Replica shards run concurrently with no synchronization below
+	// the mailbox layer: a device reached from two shards would race.
+	// That configuration is exactly what NewSharedDeviceEngine exists
+	// for, so name it in the error.
+	for i, m := range mounts {
+		for j := 0; j < i; j++ {
+			if mounts[j].Dev == m.Dev {
+				return nil, fmt.Errorf("workload: sharded engine: mounts %d and %d share a device; replica shards need private devices (use NewSharedDeviceEngine)", j, i)
+			}
+		}
+	}
+	return newPartitioned(mounts, w, seed)
+}
+
+// NewSharedDeviceEngine prepares a shared-device sharded engine: the
+// mounts must be distinct stacks (own cache, own FS instance, own
+// write-back daemon) that all sit on the same device. Thread
+// partitioning is identical to NewShardedEngine, but instead of N
+// replica device queues the run gets one extra shard owning a single
+// queue over the shared device; every mount submits into it through
+// cross-shard mailbox edges. This is the partitioning that
+// parallelizes the contention scenarios replica sharding cannot
+// express: N thread shards hammering one device.
+func NewSharedDeviceEngine(mounts []*vfs.Mount, w *Workload, seed uint64) (*ShardedEngine, error) {
+	if err := validateMounts(mounts); err != nil {
 		return nil, err
 	}
 	for i, m := range mounts {
+		if m.Dev != mounts[0].Dev {
+			return nil, fmt.Errorf("workload: shared-device engine: mount %d has its own device; all mounts must share one", i)
+		}
+	}
+	se, err := newPartitioned(mounts, w, seed)
+	if err != nil {
+		return nil, err
+	}
+	se.shared = true
+	se.dev = mounts[0].Dev
+	return se, nil
+}
+
+// validateMounts rejects nil and duplicate mounts.
+func validateMounts(mounts []*vfs.Mount) error {
+	if len(mounts) < 1 {
+		return fmt.Errorf("workload: sharded engine needs at least one mount")
+	}
+	for i, m := range mounts {
 		if m == nil {
-			return nil, fmt.Errorf("workload: sharded engine: mount %d is nil", i)
+			return fmt.Errorf("workload: sharded engine: mount %d is nil", i)
 		}
 		for j := 0; j < i; j++ {
 			if mounts[j] == m {
-				return nil, fmt.Errorf("workload: sharded engine: mounts %d and %d are the same stack", j, i)
+				return fmt.Errorf("workload: sharded engine: mounts %d and %d are the same stack", j, i)
 			}
 		}
+	}
+	return nil
+}
+
+// newPartitioned builds the per-shard engines and partitions filesets
+// and threads — the partitioning shared by both sharding modes.
+func newPartitioned(mounts []*vfs.Mount, w *Workload, seed uint64) (*ShardedEngine, error) {
+	n := len(mounts)
+	if err := w.Validate(); err != nil {
+		return nil, err
 	}
 	// All randomness splits off one master stream in a fixed order, so
 	// the assignment depends only on (seed, workload, shard count).
@@ -158,23 +221,33 @@ func (se *ShardedEngine) Mounts() []*vfs.Mount {
 // deliberately does not compute.
 func (se *ShardedEngine) SetProbe(p *Probe) { se.probe = p }
 
-// Setup builds every shard's filesets concurrently — shards are
-// independent stacks in immediate mode, so host parallelism cannot
-// affect any shard's result. It returns the latest per-shard finish
-// time, so all shards start the measured phase on one common clock.
+// Setup builds every shard's filesets — concurrently in replica mode,
+// where shards are independent stacks in immediate mode and host
+// parallelism cannot affect any shard's result; sequentially in
+// shared-device mode, where every shard's immediate-mode setup I/O
+// mutates the one device's mechanical state (head position, noise
+// stream), so interleaving would be both racy and nondeterministic.
+// It returns the latest per-shard finish time, so all shards start
+// the measured phase on one common clock.
 func (se *ShardedEngine) Setup(at sim.Time) (sim.Time, error) {
 	times := make([]sim.Time, len(se.shards))
 	errs := make([]error, len(se.shards))
-	var wg sync.WaitGroup
-	for i, sh := range se.shards {
-		i, sh := i, sh
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+	if se.shared {
+		for i, sh := range se.shards {
 			times[i], errs[i] = sh.Setup(at)
-		}()
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, sh := range se.shards {
+			i, sh := i, sh
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				times[i], errs[i] = sh.Setup(at)
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	var start sim.Time
 	for i := range se.shards {
 		if errs[i] != nil {
@@ -202,20 +275,62 @@ func (se *ShardedEngine) Run(from, until sim.Time) (sim.Time, error) {
 	if se.probe != nil && se.probe.Trace != nil {
 		return from, fmt.Errorf("workload: op tracing requires shards=1")
 	}
+	n := len(se.shards)
 	la := se.Lookahead
-	if la <= 0 {
+	total := n
+	if se.shared {
+		// The window width is the device cost model's service-time
+		// floor: a completion mailed at dispatch with its (known) future
+		// completion time is then never clamped, so threads resume at
+		// the exact single-loop completion instant. Wider would clamp
+		// completions; caller overrides may only narrow it.
+		ml := se.dev.MinLatency()
+		if la <= 0 || la > ml {
+			la = ml
+		}
+		total = n + 1
+	} else if la <= 0 {
 		la = DefaultLookahead
 	}
-	sl := sim.NewShardedLoop(from, len(se.shards), la)
-	probes := make([]*Probe, len(se.shards))
+	sl := sim.NewShardedLoop(from, total, la)
+	var bridges []*deviceBridge
+	if se.shared {
+		// Star topology: every thread shard exchanges mail with the
+		// device shard only. Declaring it turns on per-shard horizons,
+		// so thread shards are not barrier-stalled by the hot device
+		// shard (and vice versa) beyond true causal limits.
+		edges := make([][]int, total)
+		edges[n] = make([]int, n)
+		for i := 0; i < n; i++ {
+			edges[i] = []int{n}
+			edges[n][i] = i
+		}
+		sl.SetTopology(edges)
+		q, err := se.shards[0].m.NewQueue(sl.Shard(n))
+		if err != nil {
+			return from, err
+		}
+		se.sharedQ = q
+		bridges = make([]*deviceBridge, n)
+		for i := 0; i < n; i++ {
+			bridges[i] = newDeviceBridge(sl, i, n, q)
+		}
+	}
+	probes := make([]*Probe, n)
 	for i, sh := range se.shards {
 		probes[i] = cloneProbe(se.probe)
 		sh.SetProbe(probes[i])
-		if err := sh.begin(sl.Shard(i), until); err != nil {
+		if se.shared {
+			sh.beginBridged(sl.Shard(i), until, bridges[i])
+		} else if err := sh.begin(sl.Shard(i), until); err != nil {
 			return from, fmt.Errorf("shard %d: %w", i, err)
 		}
 	}
 	sl.Run()
+	if se.sharedQ != nil {
+		se.sharedQStats = se.sharedQ.Stats()
+		se.sharedQ = nil
+	}
 	var end sim.Time
 	var firstErr error
 	for i, sh := range se.shards {
@@ -253,14 +368,48 @@ func (se *ShardedEngine) Load() metrics.LoadGauge {
 	return g
 }
 
-// QueueStats reports the device-queue counters merged over shards'
-// queues from the last Run.
+// QueueStats reports the device-queue counters from the last Run:
+// merged per-shard queues in replica mode, the one shared queue in
+// shared-device mode (bridged mounts report zero stats of their own).
 func (se *ShardedEngine) QueueStats() device.QueueStats {
 	var qs device.QueueStats
 	for _, sh := range se.shards {
 		qs.Merge(sh.QueueStats())
 	}
+	qs.Merge(se.sharedQStats)
 	return qs
+}
+
+// deviceBridge implements vfs.Submitter for one thread shard in
+// shared-device mode: Submit mails the request to the device shard
+// (the submit edge pays up to one lookahead of mailbox latency — the
+// disclosed cost of the mode), where it enters the shared queue with
+// a return sender that mails the completion back. Because completions
+// are mailed at dispatch stamped with their exact completion time —
+// always at least MinLatency ≥ lookahead in the future — the
+// completion edge is never clamped and costs nothing.
+type deviceBridge struct {
+	sl       *sim.ShardedLoop
+	src, dst int
+	q        *device.Queue
+	sender   device.RemoteSender
+}
+
+func newDeviceBridge(sl *sim.ShardedLoop, src, dst int, q *device.Queue) *deviceBridge {
+	b := &deviceBridge{sl: sl, src: src, dst: dst, q: q}
+	// One completion sender per shard for the queue to reuse — not one
+	// closure per request.
+	b.sender = func(at sim.Time, fn func()) { sl.Send(dst, src, at, fn) }
+	return b
+}
+
+// Submit implements vfs.Submitter.
+func (b *deviceBridge) Submit(at sim.Time, req device.Request, done func(sim.Time, error)) {
+	b.sl.Send(b.src, b.dst, at, func() {
+		// Runs on the device shard at the (clamped) arrival time;
+		// SubmitRemote re-clamps at up to the loop clock.
+		b.q.SubmitRemote(at, req, b.sender, done)
+	})
 }
 
 // cloneProbe builds an empty probe with the same sinks enabled, the
