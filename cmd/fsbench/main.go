@@ -8,6 +8,9 @@
 //	fsbench -workload randomread -fs ext2 -runs 10 -duration 60s
 //	fsbench -workload randomread -arrival poisson -rate 150
 //	fsbench -wdl my-workload.wdl -fs xfs -cold
+//	fsbench -workload webserver -record ws.fsbt    # capture a trace
+//	fsbench -replay ws.fsbt -replay-mode scaled -replay-scale 2
+//	fsbench -replay ws.fsbt -replay-tenants 2 -sched cfq
 //	fsbench -list
 package main
 
@@ -15,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -52,6 +56,11 @@ func main() {
 		parallel     = flag.Int("parallel", 0, "concurrent runs, 0 = GOMAXPROCS (results are identical at any setting)")
 		shards       = flag.Int("shards", 1, "event-loop shards per run; >1 models N replica stacks each serving 1/N of the threads (see DESIGN.md §9)")
 		shardMode    = flag.String("shard-mode", "", "shard partitioning with -shards: empty = replica (N private devices, execution knob), shared-device = one device shard serving N thread shards (measured configuration; see DESIGN.md §9)")
+		record       = flag.String("record", "", "capture the workload's operation trace to this FSBT v2 file (single run)")
+		replay       = flag.String("replay", "", "replay the FSBT trace file instead of running a workload")
+		replayMode   = flag.String("replay-mode", "timed", "replay timing discipline: timed (recorded arrivals), afap (closed loop), scaled (gaps compressed by -replay-scale)")
+		replayScale  = flag.Float64("replay-scale", 2, "inter-arrival compression factor for -replay-mode scaled")
+		replayTen    = flag.Int("replay-tenants", 1, "replay the trace N times concurrently under distinct tenants (multi-tenant merge)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		warehouseDir = flag.String("warehouse", "", "archive the full result (per-run samples and histograms) to this results-warehouse directory")
@@ -94,20 +103,24 @@ func main() {
 		return
 	}
 
-	w, err := loadWorkload(*wdlPath, *workloadName)
-	if err != nil {
-		fatal(err)
-	}
-	if *arrival != "" {
-		kind, err := workload.ParseArrivalKind(*arrival)
+	var w *fsbench.Workload
+	if *replay == "" {
+		var err error
+		w, err = loadWorkload(*wdlPath, *workloadName)
 		if err != nil {
-			fatal(fmt.Errorf("bad -arrival: %w", err))
+			fatal(err)
 		}
-		for i := range w.Threads {
-			w.Threads[i].Arrival = workload.Arrival{Kind: kind, Rate: *rate, Burst: *burst}
-		}
-		if err := w.Validate(); err != nil {
-			fatal(fmt.Errorf("-arrival override: %w", err))
+		if *arrival != "" {
+			kind, err := workload.ParseArrivalKind(*arrival)
+			if err != nil {
+				fatal(fmt.Errorf("bad -arrival: %w", err))
+			}
+			for i := range w.Threads {
+				w.Threads[i].Arrival = workload.Arrival{Kind: kind, Rate: *rate, Burst: *burst}
+			}
+			if err := w.Validate(); err != nil {
+				fatal(fmt.Errorf("-arrival override: %w", err))
+			}
 		}
 	}
 	dur, err := workload.ParseDuration(*duration)
@@ -118,6 +131,14 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("bad -window: %w", err))
 	}
+	// A replay's natural horizon is the (scaled) recorded span; only
+	// an explicit -duration overrides it.
+	durationSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "duration" {
+			durationSet = true
+		}
+	})
 
 	stack := fsbench.StackConfig{
 		FS:              *fsName,
@@ -136,18 +157,14 @@ func main() {
 		ShardMode:       *shardMode,
 	}
 
-	fmt.Printf("workload: %s\nstack:    %s\n", w.Name, stack)
-	cov := core.ClassifyWorkload(w, stack.CacheBytesMean())
-	var dims []string
-	for _, d := range core.AllDimensions() {
-		if cov[d] != core.NotCovered {
-			dims = append(dims, fmt.Sprintf("%s(%s)", d, cov[d]))
+	if *record != "" {
+		if err := recordTrace(w, stack, dur, *seed, *record); err != nil {
+			fatal(err)
 		}
+		return
 	}
-	fmt.Printf("measures: %s\n\n", strings.Join(dims, " "))
 
 	exp := &fsbench.Experiment{
-		Name:          w.Name,
 		Stack:         stack,
 		Workload:      w,
 		Runs:          *runs,
@@ -156,6 +173,54 @@ func main() {
 		ColdCache:     *cold,
 		Seed:          *seed,
 		Parallelism:   *parallel,
+	}
+	if *replay != "" {
+		mode, err := fsbench.ParseReplayMode(*replayMode)
+		if err != nil {
+			fatal(err)
+		}
+		if *replayTen < 1 {
+			fatal(fmt.Errorf("-replay-tenants must be >= 1"))
+		}
+		// Each tenant opens its own iterators over the same file, so
+		// one capture merges into a K-tenant contention scenario.
+		tenants := make([]fsbench.TraceSource, *replayTen)
+		for i := range tenants {
+			tenants[i] = fsbench.TraceFileSource(*replay)
+		}
+		tr := &fsbench.TraceReplay{
+			Tenants: tenants,
+			Mode:    mode,
+			Scale:   *replayScale,
+			Name:    filepath.Base(*replay),
+		}
+		exp.Workload = nil
+		exp.Trace = tr
+		exp.Name = fmt.Sprintf("replay-%s-%s", mode, tr.Name)
+		if !durationSet {
+			exp.Duration = 0 // default to the scaled recorded span
+		}
+		fmt.Printf("replay:   %s (%d records, %d streams, span %s, digest %s)\n",
+			*replay, tr.Records(), tr.Workers(), tr.Span(), tr.Digest()[:min(12, len(tr.Digest()))])
+		fmt.Printf("mode:     %s", mode)
+		if mode == fsbench.ReplayScaled {
+			fmt.Printf(" x%g", *replayScale)
+		}
+		if *replayTen > 1 {
+			fmt.Printf(", %d tenants", *replayTen)
+		}
+		fmt.Printf("\nstack:    %s\n\n", stack)
+	} else {
+		exp.Name = w.Name
+		fmt.Printf("workload: %s\nstack:    %s\n", w.Name, stack)
+		cov := core.ClassifyWorkload(w, stack.CacheBytesMean())
+		var dims []string
+		for _, d := range core.AllDimensions() {
+			if cov[d] != core.NotCovered {
+				dims = append(dims, fmt.Sprintf("%s(%s)", d, cov[d]))
+			}
+		}
+		fmt.Printf("measures: %s\n\n", strings.Join(dims, " "))
 	}
 	if *warehouseDir != "" {
 		st, err := warehouse.Open(*warehouseDir)
@@ -185,7 +250,7 @@ func main() {
 	}
 
 	t := &report.Table{
-		Title:   fmt.Sprintf("%s: %d runs x %s (window %s)", w.Name, *runs, dur, win),
+		Title:   fmt.Sprintf("%s: %d runs x %s (window %s)", exp.Name, *runs, res.Experiment.Duration, win),
 		Headers: []string{"run", "seed", "ops/s", "cache MB", "hit ratio", "errors"},
 	}
 	for i, m := range res.PerRun {
@@ -204,7 +269,27 @@ func main() {
 	s := res.Throughput
 	fmt.Printf("\nthroughput: mean=%.1f ops/s  sd=%.1f  rsd=%.1f%%  95%% CI [%.1f, %.1f]\n",
 		s.Mean, s.StdDev, s.RSD*100, s.CI95Lo, s.CI95Hi)
-	if n := w.TotalThreads(); n > 1 {
+	if exp.Trace != nil {
+		if n := exp.Trace.Workers(); n > 1 {
+			sp := res.PerOwner.Spread(n)
+			fmt.Printf("fairness:   jain=%.3f over %d replay streams (ops min=%d max=%d)\n",
+				res.Jain, n, sp.MinOps, sp.MaxOps)
+			if k := *replayTen; k > 1 && n%k == 0 {
+				// Tenant-level fairness: every tenant replays the same
+				// trace, so equal service means equal per-tenant ops.
+				ops := res.PerOwner.OpsPadded(n)
+				per := n / k
+				sums := make([]int64, k)
+				for i, o := range ops {
+					sums[i/per] += o
+				}
+				fmt.Printf("tenants:    jain=%.3f over %d tenants (ops %v)\n",
+					fsbench.JainIndexCounts(sums), k, sums)
+			}
+		}
+	}
+	if w != nil && w.TotalThreads() > 1 {
+		n := w.TotalThreads()
 		// Per-thread fairness: who actually got serviced. Jain = 1.0
 		// means equal shares; starvation pushes it toward 1/threads.
 		sp := res.PerOwner.Spread(n)
@@ -258,6 +343,33 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// recordTrace runs the workload once on a fresh stack, captures its
+// operation trace through the probe hook, and writes it as FSBT v2.
+func recordTrace(w *fsbench.Workload, stack fsbench.StackConfig, dur fsbench.Time, seed uint64, path string) error {
+	fmt.Printf("workload: %s\nstack:    %s\nrecording %s of operations...\n", w.Name, stack, dur)
+	t, err := fsbench.RecordWorkload(w, stack, dur, seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteBinary(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Summarize through the same resolver the replay path uses, so the
+	// printed digest is exactly what a later -replay will report.
+	tr := &fsbench.TraceReplay{Tenants: []fsbench.TraceSource{fsbench.TraceMemorySource(t)}}
+	fmt.Printf("recorded: %s (%d records, %d streams, span %s, digest %s)\n",
+		path, tr.Records(), tr.Workers(), tr.Span(), tr.Digest()[:min(12, len(tr.Digest()))])
+	return nil
 }
 
 func loadWorkload(wdlPath, name string) (*fsbench.Workload, error) {

@@ -29,7 +29,7 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	var figs multiFlag
-	flag.Var(&figs, "fig", "figure to regenerate: 1, 1zoom, 2, 3, 4, contention, fairness, qdsweep, openloop (repeatable)")
+	flag.Var(&figs, "fig", "figure to regenerate: 1, 1zoom, 2, 3, 4, contention, fairness, qdsweep, openloop, tracereplay (repeatable)")
 	var (
 		table     = flag.String("table", "", "table to regenerate: 1")
 		all       = flag.Bool("all", false, "regenerate everything")
@@ -92,7 +92,7 @@ func main() {
 	}
 
 	if *all {
-		figs = multiFlag{"1", "1zoom", "2", "3", "4", "contention", "fairness", "qdsweep", "openloop"}
+		figs = multiFlag{"1", "1zoom", "2", "3", "4", "contention", "fairness", "qdsweep", "openloop", "tracereplay"}
 		*table = "1"
 	}
 	if len(figs) == 0 && *table == "" {
@@ -120,6 +120,8 @@ func main() {
 			err = figureQDSweep(proto)
 		case "openloop":
 			err = figureOpenLoop(proto)
+		case "tracereplay":
+			err = figureTraceReplay(proto)
 		default:
 			err = fmt.Errorf("unknown figure %q", f)
 		}

@@ -58,6 +58,7 @@ func TestFigureCSVGoldens(t *testing.T) {
 		{"qdsweep", figureQDSweep, "qdsweep.csv"},
 		{"fairness", figureFairness, "fairness.csv"},
 		{"openloop", figureOpenLoop, "openloop.csv"},
+		{"tracereplay", figureTraceReplay, "tracereplay.csv"},
 	}
 	for _, fig := range figures {
 		t.Run(fig.name, func(t *testing.T) {

@@ -70,8 +70,12 @@ func parseSelector(sel string) (warehouse.Filter, error) {
 			f.Fingerprint = v
 		case "git_rev", "rev":
 			f.GitRev = v
+		case "trace":
+			f.TraceDigest = v
+		case "replay", "replay_mode":
+			f.ReplayMode = v
 		default:
-			return f, fmt.Errorf("selector key %q: want name, personality, fs, device, scheduler, arrival, config, or git_rev", k)
+			return f, fmt.Errorf("selector key %q: want name, personality, fs, device, scheduler, arrival, config, git_rev, trace, or replay", k)
 		}
 	}
 	return f, nil
@@ -90,7 +94,7 @@ func listSets(set warehouse.Set) error {
 	sort.Strings(keys)
 	t := &report.Table{
 		Title:   fmt.Sprintf("%d records, %d runs", len(set), set.Runs()),
-		Headers: []string{"name", "config", "stack", "arrival", "shards", "mode", "records", "runs", "ops/s mean", "revs"},
+		Headers: []string{"name", "config", "stack", "arrival", "trace", "shards", "mode", "records", "runs", "ops/s mean", "revs"},
 	}
 	for _, k := range keys {
 		g := groups[k]
@@ -122,6 +126,12 @@ func listSets(set warehouse.Set) error {
 		if mode == "" {
 			mode = "replica"
 		}
+		// Traced runs carry the replayed trace's content digest; the
+		// replay discipline already shows in the arrival column.
+		traceCol := "-"
+		if r.TraceDigest != "" {
+			traceCol = r.TraceDigest[:min(8, len(r.TraceDigest))]
+		}
 		tp := g.Throughputs()
 		mean := 0.0
 		for _, v := range tp {
@@ -135,6 +145,7 @@ func listSets(set warehouse.Set) error {
 			r.Fingerprint[:12],
 			fmt.Sprintf("%s/%s/%s", r.FS, r.Device, r.Scheduler),
 			r.Arrival,
+			traceCol,
 			shardCol,
 			mode,
 			fmt.Sprintf("%d", len(g)),

@@ -362,28 +362,62 @@ func SurveyTable1() []SurveyEntry { return survey.Table1() }
 // RenderSurvey writes Table 1 in the paper's layout.
 func RenderSurvey(w io.Writer) error { return survey.Render(w, survey.Table1()) }
 
-// Traces.
+// Traces. A capture is an FSBT file (the streaming v2 format carries
+// per-record owner and stream identity; legacy v1 stays readable) and
+// replays through the event kernel: per-stream procs contend on the
+// device queue under one of three timing disciplines, and K traces
+// merge into one multi-tenant contention scenario. Set
+// Experiment.Trace to make a trace the experiment's workload source.
 type (
-	// Trace is an operation trace.
+	// Trace is an in-memory operation trace.
 	Trace = trace.Trace
 	// TraceRecorder collects a trace from a workload probe.
 	TraceRecorder = trace.Recorder
-	// ReplayResult summarizes a trace replay.
+	// TraceRecord is one traced operation.
+	TraceRecord = trace.Record
+	// TraceSource opens record iterators over one trace (file-backed
+	// or in-memory); the replay engine streams through it in bounded
+	// memory.
+	TraceSource = trace.Source
+	// TraceReplay configures trace replay as an Experiment's workload
+	// source (Experiment.Trace).
+	TraceReplay = core.TraceReplay
+	// ReplayMode is the replay timing discipline.
+	ReplayMode = trace.ReplayMode
+	// ReplayResult summarizes a one-shot trace replay.
 	ReplayResult = trace.ReplayResult
 )
 
-// Trace replay modes.
+// Trace replay disciplines: timed (open loop, faithful to recorded
+// arrivals), afap (closed loop, as fast as possible), scaled (timed
+// with inter-arrival gaps compressed ×Scale).
 const (
-	ReplayTimed = trace.Timed
-	ReplayAFAP  = trace.AFAP
+	ReplayTimed  = trace.Timed
+	ReplayAFAP   = trace.AFAP
+	ReplayScaled = trace.Scaled
 )
+
+// ParseReplayMode resolves "timed", "afap", or "scaled".
+func ParseReplayMode(s string) (ReplayMode, error) { return trace.ParseReplayMode(s) }
 
 // NewTraceRecorder returns an empty trace recorder; install its
 // Hook() as the workload probe's Trace function.
 func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
 
+// TraceFileSource streams the FSBT trace file at path (either format
+// version) without materializing its records.
+func TraceFileSource(path string) TraceSource { return trace.FileSource(path) }
+
+// TraceMemorySource iterates an in-memory trace.
+func TraceMemorySource(t *Trace) TraceSource { return trace.MemorySource(t) }
+
+// ConvertTrace upgrades an FSBT v1 trace on r to v2 on w. The
+// content digest is order-insensitive, so warehouse fingerprints
+// survive the conversion.
+func ConvertTrace(r io.Reader, w io.Writer) error { return trace.Convert(r, w) }
+
 // ReplayTrace builds a fresh stack from the configuration and replays
-// the trace against it from time zero.
+// the whole trace against it from time zero on the event kernel.
 func ReplayTrace(t *Trace, stack StackConfig, seed uint64, mode trace.ReplayMode) (ReplayResult, error) {
 	m, err := stack.Build(sim.NewRNG(seed))
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 	"repro/internal/workload"
 )
@@ -16,6 +17,11 @@ type Experiment struct {
 	Name     string
 	Stack    StackConfig
 	Workload *workload.Workload
+	// Trace, when non-nil, replaces Workload as the run's operation
+	// source: each run replays the configured trace(s) through the
+	// event kernel under the experiment's protocol. Exactly one of
+	// Workload and Trace must be set.
+	Trace *TraceReplay
 	// Runs is the number of independent runs (the paper uses 10).
 	Runs int
 	// Duration is each run's measured length in virtual time.
@@ -158,6 +164,23 @@ func (e *Experiment) prepare() error {
 	if e.Runs <= 0 {
 		e.Runs = 1
 	}
+	if e.Trace != nil {
+		if e.Workload != nil {
+			return fmt.Errorf("core: experiment %q sets both Workload and Trace", e.Name)
+		}
+		if e.Stack.Shards > 1 {
+			return fmt.Errorf("core: experiment %q: trace replay does not support sharded stacks", e.Name)
+		}
+		if err := e.Trace.resolve(); err != nil {
+			return fmt.Errorf("core: experiment %q: %w", e.Name, err)
+		}
+		if e.Duration <= 0 {
+			// Default to the replay's natural horizon: the recorded
+			// span at the configured compression.
+			e.Duration = e.Trace.defaultDuration()
+		}
+		return nil
+	}
 	if e.Duration <= 0 {
 		return fmt.Errorf("core: experiment %q without duration", e.Name)
 	}
@@ -176,8 +199,13 @@ func (e *Experiment) aggregate(perRun []RunMeasure) *Result {
 		res.PerOwner.Merge(perRun[i].PerOwner)
 		res.Load.Merge(perRun[i].Load)
 	}
-	res.Jain = metrics.JainIndexCounts(
-		res.PerOwner.OpsPadded(e.Workload.TotalThreads()))
+	pad := 0
+	if e.Trace != nil {
+		pad = e.Trace.Workers()
+	} else {
+		pad = e.Workload.TotalThreads()
+	}
+	res.Jain = metrics.JainIndexCounts(res.PerOwner.OpsPadded(pad))
 	res.Throughput = stats.Summarize(res.Throughputs())
 	res.Flags = e.flags(res)
 	return res
@@ -245,7 +273,7 @@ func (e *Experiment) runOnce(seed uint64) (RunMeasure, error) {
 	// Per-run CPU noise: scale the tool's per-op overhead, modeling
 	// run-to-run host variation even for fully cached workloads.
 	w := e.Workload
-	if noise := e.Stack.CPUNoiseFrac; noise > 0 {
+	if noise := e.Stack.CPUNoiseFrac; noise > 0 && w != nil {
 		factor := rng.NormalClamped(1, noise, 0.5, 1.5)
 		w2 := *w
 		w2.Threads = append([]workload.ThreadSpec(nil), w.Threads...)
@@ -256,7 +284,9 @@ func (e *Experiment) runOnce(seed uint64) (RunMeasure, error) {
 	}
 	var eng engineRunner
 	var err error
-	if sharedDev {
+	if e.Trace != nil {
+		eng, err = trace.NewEngine(mounts[0], e.Trace.engineConfig())
+	} else if sharedDev {
 		eng, err = workload.NewSharedDeviceEngine(mounts, w, rng.Uint64())
 	} else if shards > 1 {
 		eng, err = workload.NewShardedEngine(mounts, w, rng.Uint64())

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// replayTrace builds a small two-stream capture: interleaved creates,
+// writes, and reads with enough records that several runs' worth of
+// replay exercises the device queue.
+func replayTrace() *trace.Trace {
+	tr := &trace.Trace{}
+	at := sim.Time(0)
+	for i := 0; i < 200; i++ {
+		s := i % 2
+		p := "/t/f" + string(rune('a'+i%8))
+		switch i % 4 {
+		case 0:
+			tr.Records = append(tr.Records, trace.Record{
+				At: at, Kind: workload.OpCreate, Path: p, Owner: s, Stream: s})
+		case 1:
+			tr.Records = append(tr.Records, trace.Record{
+				At: at, Kind: workload.OpWriteSeq, Path: p, Offset: int64(i) * 4096,
+				Size: 4096, Owner: s, Stream: s})
+		case 2:
+			tr.Records = append(tr.Records, trace.Record{
+				At: at, Kind: workload.OpReadRand, Path: p,
+				Offset: int64(i%64) * 4096, Size: 4096, Owner: s, Stream: s})
+		default:
+			tr.Records = append(tr.Records, trace.Record{
+				At: at, Kind: workload.OpStat, Path: p, Owner: s, Stream: s})
+		}
+		at += 500 * sim.Microsecond
+	}
+	return tr
+}
+
+// TestTraceReplayDeterminismMatrix is the round-trip determinism
+// matrix from the protocol: the same trace experiment must produce a
+// bit-identical Result at Parallelism 1 and 4, under GOMAXPROCS 1 and
+// 2. The worker pool only changes wall-clock scheduling; every
+// simulated number comes from run-local state keyed by seed.
+func TestTraceReplayDeterminismMatrix(t *testing.T) {
+	tr := replayTrace()
+	run := func(parallelism int) string {
+		exp := &Experiment{
+			Name:  "trace-matrix",
+			Stack: smallStack(),
+			Trace: &TraceReplay{
+				Tenants: []trace.Source{trace.MemorySource(tr)},
+				Mode:    trace.Timed,
+			},
+			Runs: 3, Seed: 42, Parallelism: parallelism,
+		}
+		res, err := exp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resultFingerprint(res)
+	}
+	var want string
+	for _, procs := range []int{1, 2} {
+		prev := runtime.GOMAXPROCS(procs)
+		for _, par := range []int{1, 4} {
+			got := run(par)
+			if want == "" {
+				want = got
+			} else if got != want {
+				t.Errorf("GOMAXPROCS=%d Parallelism=%d diverged from baseline:\n%s\nvs\n%s",
+					procs, par, got, want)
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+}
+
+// TestTraceReplayScaledKneeVsAFAP reproduces the paper's open- vs
+// closed-loop distinction on a captured trace: compressing the
+// capture's timing ×8 overloads the device and the open-loop gauge
+// shows abandoned backlog, while AFAP replay of the very same records
+// is closed-loop by construction and reports no offered load at all —
+// it hides the knee.
+func TestTraceReplayScaledKneeVsAFAP(t *testing.T) {
+	tr := &trace.Trace{}
+	at := sim.Time(0)
+	for i := 0; i < 400; i++ {
+		tr.Records = append(tr.Records, trace.Record{
+			At: at, Kind: workload.OpReadRand, Path: "/big",
+			Offset: int64(i*2467%1024) * 256 << 10, Size: 4096,
+		})
+		at += 2 * sim.Millisecond
+	}
+	run := func(mode trace.ReplayMode, scale float64) *Result {
+		exp := &Experiment{
+			Name:  "trace-knee",
+			Stack: smallStack(),
+			Trace: &TraceReplay{
+				Tenants: []trace.Source{trace.MemorySource(tr)},
+				Mode:    mode, Scale: scale,
+			},
+			Runs: 1, Seed: 7, Duration: 200 * sim.Millisecond,
+		}
+		res, err := exp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	scaled := run(trace.Scaled, 8)
+	if scaled.Load.Offered == 0 {
+		t.Fatal("scaled replay never touched the load gauge")
+	}
+	if r := scaled.Load.CompletionRatio(); r >= 1 {
+		t.Errorf("scaled x8 completion ratio %.3f, want < 1 (open-loop knee)", r)
+	}
+	afap := run(trace.AFAP, 1)
+	if afap.Load.Offered != 0 {
+		t.Errorf("afap offered %d, want 0 (closed loop cannot see the knee)",
+			afap.Load.Offered)
+	}
+	if afap.PerRun[0].Ops == 0 {
+		t.Error("afap replay did no work")
+	}
+}
+
+// tenantJain replays two tenants with deliberately different seek
+// locality — one confined to a narrow LBA band, one scattered across
+// the disk — under the given I/O scheduler, and returns the Jain
+// index of per-tenant completed ops. Both tenants issue identical
+// 4 KB random reads from four closed-loop streams each, so under fair
+// service their op counts should be comparable; a seek-greedy
+// scheduler instead keeps the head inside the narrow tenant's band.
+func tenantJain(t *testing.T, scheduler string) float64 {
+	t.Helper()
+	const streams = 4
+	near := &trace.Trace{}
+	far := &trace.Trace{}
+	for i := 0; i < 40000; i++ {
+		s := i % streams
+		near.Records = append(near.Records, trace.Record{
+			At: sim.Time(i) * 100, Kind: workload.OpReadRand, Path: "/near",
+			Offset: int64(i*2467%512) * 4096, Size: 4096, Owner: s, Stream: s,
+		})
+		far.Records = append(far.Records, trace.Record{
+			At: sim.Time(i) * 100, Kind: workload.OpReadRand, Path: "/far",
+			Offset: int64(i*7919%512) * 4096 << 10, Size: 4096, Owner: s, Stream: s,
+		})
+	}
+	stack := smallStack()
+	stack.Scheduler = scheduler
+	exp := &Experiment{
+		Name:  "trace-fairness-" + scheduler,
+		Stack: stack,
+		Trace: &TraceReplay{
+			Tenants: []trace.Source{trace.MemorySource(near), trace.MemorySource(far)},
+			Mode:    trace.AFAP,
+		},
+		Runs: 1, Seed: 11, Duration: 2 * sim.Second,
+	}
+	res, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := res.PerOwner.OpsPadded(2 * streams)
+	sums := make([]int64, 2)
+	for o, n := range ops {
+		sums[o/streams] += n
+	}
+	if sums[0] == 0 || sums[1] == 0 {
+		t.Fatalf("%s: a tenant recorded nothing: %v", scheduler, sums)
+	}
+	t.Logf("%s per-tenant ops: near=%d far=%d", scheduler, sums[0], sums[1])
+	return metrics.JainIndexCounts(sums)
+}
+
+// TestMultiTenantFairnessCFQvsNCQ: under a fair-queueing scheduler
+// two tenants with asymmetric locality get near-equal service; under
+// NCQ the seek-optimal tenant wins and per-tenant Jain drops.
+func TestMultiTenantFairnessCFQvsNCQ(t *testing.T) {
+	cfq := tenantJain(t, "cfq")
+	ncq := tenantJain(t, "ncq")
+	t.Logf("per-tenant Jain: cfq=%.4f ncq=%.4f", cfq, ncq)
+	if cfq <= ncq {
+		t.Errorf("cfq Jain %.4f <= ncq Jain %.4f: fair queueing should beat NCQ for the seek-heavy tenant", cfq, ncq)
+	}
+}

@@ -1,0 +1,767 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/fs"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"repro/internal/workload"
+)
+
+// ReplayMode selects the replayer's timing discipline — the first
+// axis of the replay-trace taxonomy (timing faithfulness).
+type ReplayMode int
+
+// Replay modes.
+const (
+	// Timed dispatches each operation at its recorded offset from
+	// trace start (open-loop replay): arrivals are not gated by
+	// completions, so a system slower than the traced one builds a
+	// backlog that shows up in the load gauge and in arrival-measured
+	// latency.
+	Timed ReplayMode = iota
+	// AFAP replays as fast as possible (closed loop): each stream
+	// issues its next operation when the previous completes. The load
+	// gauge stays trivially satisfied — exactly the self-throttling
+	// the paper warns about, kept as a discipline because it measures
+	// peak absorbable throughput.
+	AFAP
+	// Scaled is Timed with inter-arrival gaps compressed by Scale:
+	// ×N replays the same operation mix at N times the recorded
+	// intensity, the load-scaling axis of the taxonomy.
+	Scaled
+)
+
+// String names the mode the way the CLI and warehouse spell it.
+func (m ReplayMode) String() string {
+	switch m {
+	case Timed:
+		return "timed"
+	case AFAP:
+		return "afap"
+	case Scaled:
+		return "scaled"
+	}
+	return fmt.Sprintf("ReplayMode(%d)", int(m))
+}
+
+// ParseReplayMode resolves a CLI spelling.
+func ParseReplayMode(s string) (ReplayMode, error) {
+	switch s {
+	case "timed":
+		return Timed, nil
+	case "afap":
+		return AFAP, nil
+	case "scaled":
+		return Scaled, nil
+	}
+	return 0, fmt.Errorf("trace: unknown replay mode %q (want timed, afap, or scaled)", s)
+}
+
+// maxOpenFDsDefault caps each stream's open file descriptors like a
+// real process's rlimit; the least recently opened handle is closed
+// when the table is full.
+const maxOpenFDsDefault = 256
+
+// EngineConfig describes one replay.
+type EngineConfig struct {
+	// Mode is the timing discipline.
+	Mode ReplayMode
+	// Scale compresses inter-arrival gaps in Scaled mode (×2 replays
+	// at twice the recorded intensity). <= 0 means 1. Ignored by AFAP.
+	Scale float64
+	// Tenants are the traces to replay concurrently, each under its
+	// own path prefix and owner range — the multi-tenant merge that
+	// turns any captured trace into a fairness/contention scenario.
+	// One tenant replays the trace as captured.
+	Tenants []Source
+	// MaxOpenFDs caps open descriptors per stream (0 = 256).
+	MaxOpenFDs int
+}
+
+// scale returns the effective time-compression factor.
+func (c EngineConfig) scale() float64 {
+	if c.Mode == Scaled && c.Scale > 0 {
+		return c.Scale
+	}
+	return 1
+}
+
+// job is one dispatched record with its (scaled) arrival time.
+type job struct {
+	rec Record
+	at  sim.Time
+}
+
+// stream is one replay worker: the records of one captured submission
+// stream execute in order on it, while distinct streams contend on
+// the device queue — the captured concurrency structure, preserved.
+type stream struct {
+	id      int // captured stream id
+	owner   int // global OwnerID across all tenants
+	tn      *tenant
+	now     sim.Time
+	arrival sim.Time
+	queue   []job // FIFO backlog; qhead avoids reslicing so the array is reused
+	qhead   int
+	idle    bool
+	proc    *sim.Proc
+	fds     map[string]*vfs.FD
+	fdOrder []string // open order: evictions and picks stay deterministic
+}
+
+// pending reports the stream's queued-but-unserved job count.
+func (st *stream) pending() int { return len(st.queue) - st.qhead }
+
+// pop removes and returns the oldest queued job, recycling the
+// backing array when the queue drains — replay memory stays bounded
+// by the live backlog, not the record count.
+func (st *stream) pop() job {
+	j := st.queue[st.qhead]
+	st.queue[st.qhead] = job{} // release the Record's path reference
+	st.qhead++
+	if st.qhead == len(st.queue) {
+		st.queue = st.queue[:0]
+		st.qhead = 0
+	}
+	return j
+}
+
+// tenant is one merged trace with its own namespace and streams.
+type tenant struct {
+	src     Source
+	prefix  string // "" single-tenant, "/tK" under merge
+	scan    Scan
+	streams []*stream
+	byID    map[int]*stream
+	genDone bool
+}
+
+// Engine replays one or more traces against a mount on the event
+// kernel. It satisfies core's per-run engine surface (Setup,
+// DropCaches, SetProbe, Run, Load, Counter), so a trace slots into
+// Experiment wherever a Workload would.
+//
+// Replay streams: each dispatcher reads its tenant's source through
+// an Iterator, so memory stays O(streams + in-flight backlog), never
+// O(records).
+type Engine struct {
+	m       *vfs.Mount
+	cfg     EngineConfig
+	tenants []*tenant
+	workers int
+	probe   *workload.Probe
+	counter metrics.Counter
+	load    metrics.LoadGauge
+	errHist *metrics.Histogram
+	maxLag  sim.Time
+	runErr  error
+}
+
+// NewEngine prepares a replay. It pre-scans every tenant's trace
+// (streams, span, digest) — one streaming pass per source.
+func NewEngine(m *vfs.Mount, cfg EngineConfig) (*Engine, error) {
+	if len(cfg.Tenants) == 0 {
+		return nil, errors.New("trace: replay needs at least one tenant source")
+	}
+	if cfg.MaxOpenFDs <= 0 {
+		cfg.MaxOpenFDs = maxOpenFDsDefault
+	}
+	e := &Engine{m: m, cfg: cfg, errHist: &metrics.Histogram{}}
+	owner := 0
+	for k, src := range cfg.Tenants {
+		sc, err := ScanSource(src)
+		if err != nil {
+			return nil, fmt.Errorf("trace: scanning tenant %d: %w", k, err)
+		}
+		tn := &tenant{src: src, scan: sc, byID: make(map[int]*stream)}
+		if len(cfg.Tenants) > 1 {
+			tn.prefix = fmt.Sprintf("/t%d", k)
+		}
+		for _, id := range sc.Streams {
+			st := &stream{
+				id: id, owner: owner, tn: tn,
+				fds: make(map[string]*vfs.FD),
+			}
+			owner++
+			tn.streams = append(tn.streams, st)
+			tn.byID[id] = st
+		}
+		e.tenants = append(e.tenants, tn)
+	}
+	e.workers = owner
+	return e, nil
+}
+
+// SetProbe installs the measurement probe.
+func (e *Engine) SetProbe(p *workload.Probe) { e.probe = p }
+
+// Counter reports op totals accumulated so far.
+func (e *Engine) Counter() metrics.Counter { return e.counter }
+
+// Load reports the offered/completed gauge. Timed and Scaled replays
+// fill it (they are open loops); AFAP leaves it zero — a closed loop
+// completes everything it offers by construction, which is precisely
+// how it hides saturation.
+func (e *Engine) Load() metrics.LoadGauge { return e.load }
+
+// MaxLag is the worst service-start delay behind the (scaled)
+// recorded schedule — how far the replayed system fell behind the
+// traced one.
+func (e *Engine) MaxLag() sim.Time { return e.maxLag }
+
+// ErrorHist is the latency histogram of operations that failed,
+// measured from arrival to the failure return — errored ops are
+// accounted, not vanished.
+func (e *Engine) ErrorHist() *metrics.Histogram { return e.errHist }
+
+// Workers reports the total stream-worker count across tenants (the
+// engine's OwnerID space; owners are dense in [0, Workers)).
+func (e *Engine) Workers() int { return e.workers }
+
+// Span reports the longest tenant's recorded duration.
+func (e *Engine) Span() sim.Time {
+	var span sim.Time
+	for _, tn := range e.tenants {
+		if tn.scan.Span > span {
+			span = tn.scan.Span
+		}
+	}
+	return span
+}
+
+// Records reports the total record count across tenants.
+func (e *Engine) Records() int64 {
+	var n int64
+	for _, tn := range e.tenants {
+		n += tn.scan.Records
+	}
+	return n
+}
+
+// Setup reconstructs the namespace the capture assumed: every path
+// the trace references without first creating is pre-created, files
+// sized to the largest extent the trace reads (Scan.Extents), so
+// replayed reads perform the I/O the captured reads did instead of
+// returning instantly from holes in empty lazily-created files. Paths
+// the trace itself creates are left to the replay.
+func (e *Engine) Setup(at sim.Time) (sim.Time, error) {
+	now := at
+	for _, tn := range e.tenants {
+		for _, dir := range tn.scan.Dirs {
+			now = e.mkdirAll(now, tn.prefix+dir)
+		}
+		paths := make([]string, 0, len(tn.scan.Extents))
+		for p := range tn.scan.Extents {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			full := tn.prefix + p
+			now = e.ensureParents(now, full)
+			fd, done, err := e.m.Create(now, full)
+			if err != nil {
+				return now, fmt.Errorf("trace: setup %s: %w", full, err)
+			}
+			now = done
+			if size := tn.scan.Extents[p]; size > 0 {
+				done, err = e.m.Write(now, fd, 0, size)
+				if err != nil {
+					return now, fmt.Errorf("trace: setup %s: %w", full, err)
+				}
+				now = done
+			}
+			e.m.Close(fd)
+		}
+	}
+	return e.m.SyncAll(now)
+}
+
+// DropCaches empties the page cache (cold-start replay).
+func (e *Engine) DropCaches() {
+	e.m.PC.L1.Flush()
+	if e.m.PC.L2 != nil {
+		e.m.PC.L2.Flush()
+	}
+}
+
+// Run replays from virtual time `from` until the trace is exhausted
+// or the horizon `until` passes: dispatchers stop offering records
+// scheduled at or beyond it and workers abandon their remaining
+// backlog, which the load gauge then reports as offered-but-not-
+// completed. The run executes on a discrete-event loop — one proc
+// per stream plus one dispatcher per tenant in timed/scaled modes —
+// so results are bit-identical at any host parallelism.
+func (e *Engine) Run(from, until sim.Time) (sim.Time, error) {
+	loop := sim.NewEventLoop(from)
+	if err := e.m.BeginEvents(loop); err != nil {
+		return from, err
+	}
+	e.runErr = nil
+	open := e.cfg.Mode != AFAP
+	procs := e.workers
+	if open {
+		procs += len(e.tenants)
+	}
+	loop.Reserve(procs + 16)
+	remaining := procs
+	if remaining == 0 {
+		e.m.StopWriteback()
+	}
+	finish := func() {
+		if remaining--; remaining == 0 {
+			e.m.StopWriteback()
+		}
+	}
+	// Iterators open before the loop runs so open errors are
+	// synchronous; afap gives each stream its own filtered iterator,
+	// timed/scaled one shared iterator per tenant dispatcher.
+	var iters []Iterator
+	fail := func(err error) (sim.Time, error) {
+		for _, it := range iters {
+			it.Close()
+		}
+		e.m.EndEvents()
+		e.m.StopWriteback()
+		return from, err
+	}
+	type afapStart struct {
+		st *stream
+		it Iterator
+	}
+	var afapStarts []afapStart
+	type dispatchStart struct {
+		tn *tenant
+		it Iterator
+	}
+	var dispatchStarts []dispatchStart
+	for _, tn := range e.tenants {
+		if open {
+			it, err := tn.src.Open()
+			if err != nil {
+				return fail(err)
+			}
+			iters = append(iters, it)
+			dispatchStarts = append(dispatchStarts, dispatchStart{tn, it})
+			continue
+		}
+		for _, st := range tn.streams {
+			it, err := tn.src.Open()
+			if err != nil {
+				return fail(err)
+			}
+			iters = append(iters, it)
+			afapStarts = append(afapStarts, afapStart{st, it})
+		}
+	}
+	// Workers spawn before dispatchers so every stream is parked on
+	// its queue before the first arrival fires.
+	for _, tn := range e.tenants {
+		for _, st := range tn.streams {
+			st.now = from
+			if open {
+				st := st
+				loop.Go(from, func(p *sim.Proc) {
+					defer finish()
+					st.proc = p
+					e.streamWorker(p, st, until)
+				})
+			}
+		}
+	}
+	for _, as := range afapStarts {
+		as := as
+		loop.Go(from, func(p *sim.Proc) {
+			defer finish()
+			e.afapWorker(p, as.st, as.it, until)
+		})
+	}
+	for _, ds := range dispatchStarts {
+		ds := ds
+		loop.Go(from, func(p *sim.Proc) {
+			defer finish()
+			e.dispatch(p, ds.tn, ds.it, from, until)
+		})
+	}
+	loop.Run()
+	e.m.EndEvents()
+	for _, it := range iters {
+		it.Close()
+	}
+	var end sim.Time
+	for _, tn := range e.tenants {
+		for _, st := range tn.streams {
+			if st.now > end {
+				end = st.now
+			}
+		}
+	}
+	return end, e.runErr
+}
+
+// dispatch is a tenant's arrival process in timed/scaled modes: it
+// streams records off the source, waits until each record's (scaled)
+// submission time, and hands it to its stream's worker — never
+// waiting for service completions, so offered load is faithful to the
+// recording regardless of how the replayed system keeps up.
+func (e *Engine) dispatch(p *sim.Proc, tn *tenant, it Iterator, from, until sim.Time) {
+	defer func() {
+		tn.genDone = true
+		for _, st := range tn.streams {
+			if st.idle {
+				st.idle = false
+				st.proc.Unpark()
+			}
+		}
+	}()
+	scale := e.cfg.scale()
+	for e.runErr == nil {
+		rec, err := it.Next()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			e.runErr = err
+			return
+		}
+		sched := from + sim.Time(float64(rec.At)/scale)
+		if sched >= until {
+			// Past the horizon: this record (and, in a time-ordered
+			// trace, every later one) is never offered.
+			continue
+		}
+		p.WaitUntil(sched)
+		st, ok := tn.byID[rec.Stream]
+		if !ok {
+			e.runErr = fmt.Errorf("trace: record references unscanned stream %d", rec.Stream)
+			return
+		}
+		e.load.Arrive()
+		st.queue = append(st.queue, job{rec: rec, at: sched})
+		if st.idle {
+			// Direct baton handoff, as in the workload engine's open
+			// loop: deterministic under the one-baton discipline.
+			st.idle = false
+			st.proc.Unpark()
+		}
+	}
+}
+
+// streamWorker executes one stream's dispatched records in order
+// (timed/scaled modes), parking when its queue drains. Latency is
+// measured from the record's scheduled arrival, so time spent queued
+// behind a slow device is part of the recorded latency — the open-
+// loop signature.
+func (e *Engine) streamWorker(p *sim.Proc, st *stream, until sim.Time) {
+	for e.runErr == nil {
+		if st.pending() == 0 {
+			if st.tn.genDone {
+				return
+			}
+			// Realign with the global clock before parking so the
+			// wake-up cannot rewind this worker's local clock.
+			p.WaitUntil(st.now)
+			if st.pending() == 0 && !st.tn.genDone {
+				st.idle = true
+				if t := p.Park(); t > st.now {
+					st.now = t
+				}
+			}
+			continue
+		}
+		if st.now >= until {
+			// Abandon the backlog: the load gauge reports it as
+			// offered minus completed.
+			return
+		}
+		j := st.pop()
+		if j.at > st.now {
+			st.now = j.at
+		}
+		p.WaitUntil(st.now)
+		e.m.SetProc(p, st.owner+1)
+		st.arrival = j.at
+		if lag := st.now - j.at; lag > e.maxLag {
+			e.maxLag = lag
+		}
+		if err := e.exec(st, j.rec); err != nil {
+			if e.runErr == nil {
+				e.runErr = err
+			}
+			return
+		}
+		e.load.Complete()
+	}
+}
+
+// afapWorker replays one stream closed-loop: it filters the tenant's
+// record sequence down to its own stream and issues each operation
+// when the previous completes.
+func (e *Engine) afapWorker(p *sim.Proc, st *stream, it Iterator, until sim.Time) {
+	for st.now < until && e.runErr == nil {
+		rec, err := it.Next()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			if e.runErr == nil {
+				e.runErr = err
+			}
+			return
+		}
+		if rec.Stream != st.id {
+			continue
+		}
+		p.WaitUntil(st.now)
+		e.m.SetProc(p, st.owner+1)
+		st.arrival = st.now
+		if err := e.exec(st, rec); err != nil {
+			if e.runErr == nil {
+				e.runErr = err
+			}
+			return
+		}
+	}
+}
+
+// ensureParents recreates missing parent directories: traces
+// reference a namespace that existed on the traced system, not on
+// this one.
+func (e *Engine) ensureParents(at sim.Time, path string) sim.Time {
+	if i := strings.LastIndexByte(path, '/'); i > 0 {
+		return e.mkdirAll(at, path[:i])
+	}
+	return at
+}
+
+// mkdirAll is mkdir -p: every missing component, leaf included.
+func (e *Engine) mkdirAll(at sim.Time, path string) sim.Time {
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	prefix := ""
+	for _, part := range parts {
+		if part == "" {
+			continue
+		}
+		prefix += "/" + part
+		if done, err := e.m.Mkdir(at, prefix); err == nil {
+			at = done
+		}
+	}
+	return at
+}
+
+// trackFD registers an open handle, evicting the least recently
+// opened one when the stream is at its descriptor cap — the bound a
+// real process's rlimit imposes, and the fix for the old replayer
+// holding every file it ever touched open for the whole replay.
+func (e *Engine) trackFD(st *stream, path string, fd *vfs.FD) {
+	st.fds[path] = fd
+	st.fdOrder = append(st.fdOrder, path)
+	if len(st.fdOrder) > e.cfg.MaxOpenFDs {
+		victim := st.fdOrder[0]
+		st.fdOrder = st.fdOrder[1:]
+		if vfd, ok := st.fds[victim]; ok {
+			e.m.Close(vfd)
+			delete(st.fds, victim)
+		}
+	}
+}
+
+// dropFD forgets (without closing) the stream's handle for path.
+func (st *stream) dropFD(path string) {
+	if _, ok := st.fds[path]; !ok {
+		return
+	}
+	delete(st.fds, path)
+	for i, p := range st.fdOrder {
+		if p == path {
+			st.fdOrder = append(st.fdOrder[:i], st.fdOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// openOrCreate returns the stream's handle for path, opening or (for
+// paths that predate the capture) creating it on first touch.
+func (e *Engine) openOrCreate(st *stream, at sim.Time, path string) (*vfs.FD, sim.Time, error) {
+	if fd, ok := st.fds[path]; ok {
+		return fd, at, nil
+	}
+	fd, done, err := e.m.Open(at, path)
+	if errors.Is(err, fs.ErrNotExist) {
+		at = e.ensureParents(at, path)
+		fd, done, err = e.m.Create(at, path)
+	}
+	if err != nil {
+		return nil, at, err
+	}
+	e.trackFD(st, path, fd)
+	return fd, done, nil
+}
+
+// exec replays one record on its stream. Benign errors (a stat on a
+// path the capture deleted, a read racing the trace's own unlink) are
+// counted and histogrammed, advancing the clock to the actual failure
+// return; only an unreplayable record kind is fatal.
+func (e *Engine) exec(st *stream, rec Record) error {
+	issue := st.now
+	path := st.tn.prefix + rec.Path
+	var done sim.Time
+	var err error
+	var moved int64
+	switch rec.Kind {
+	case workload.OpReadRand, workload.OpReadSeq, workload.OpReadWholeFile:
+		var fd *vfs.FD
+		fd, issue, err = e.openOrCreate(st, issue, path)
+		if err == nil {
+			moved, done, err = e.m.Read(issue, fd, rec.Offset, rec.Size)
+		}
+	case workload.OpWriteRand, workload.OpWriteSeq, workload.OpAppend:
+		var fd *vfs.FD
+		fd, issue, err = e.openOrCreate(st, issue, path)
+		if err == nil {
+			done, err = e.m.Write(issue, fd, rec.Offset, rec.Size)
+			if err == nil {
+				moved = rec.Size
+			}
+		}
+	case workload.OpCreate:
+		issue = e.ensureParents(issue, path)
+		var fd *vfs.FD
+		fd, done, err = e.m.Create(issue, path)
+		if err == nil {
+			e.trackFD(st, path, fd)
+		}
+	case workload.OpDelete:
+		// Every stream in the tenant must release its handle: the
+		// file is gone for the whole namespace, and the old replayer's
+		// silent map-drop leaked the descriptor.
+		for _, s := range st.tn.streams {
+			if fd, ok := s.fds[path]; ok {
+				e.m.Close(fd)
+				s.dropFD(path)
+			}
+		}
+		done, err = e.m.Unlink(issue, path)
+	case workload.OpStat:
+		_, done, err = e.m.Stat(issue, path)
+	case workload.OpFsync:
+		fd, ok := st.fds[path]
+		if !ok {
+			fd, issue, err = e.openOrCreate(st, issue, path)
+		}
+		if err == nil && fd != nil {
+			done, err = e.m.Fsync(issue, fd)
+		}
+	case workload.OpMkdir:
+		done, err = e.m.Mkdir(issue, path)
+	case workload.OpReadDir:
+		_, done, err = e.m.ReadDir(issue, path)
+	case workload.OpOpen:
+		_, done, err = e.openOrCreate(st, issue, path)
+		if done < issue {
+			done = issue
+		}
+	case workload.OpClose:
+		// Honor the capture: close the named handle if the stream
+		// holds it (the old replayer ignored Close entirely).
+		if fd, ok := st.fds[path]; ok {
+			e.m.Close(fd)
+			st.dropFD(path)
+		}
+		done = issue
+	case workload.OpThink:
+		done = issue
+	default:
+		return fmt.Errorf("trace: unreplayable record kind %v", rec.Kind)
+	}
+	if err != nil {
+		// Errored ops are accounted, not vanished: the clock advances
+		// to the failure return (vfs ops report how far they got) and
+		// the arrival-to-failure latency lands in the error histogram.
+		e.counter.Errors++
+		fail := done
+		if fail < issue {
+			fail = issue
+		}
+		e.errHist.Record(fail - st.arrival)
+		st.now = fail
+		return nil
+	}
+	if done < issue {
+		done = issue
+	}
+	e.counter.Ops++
+	e.counter.Bytes += moved
+	e.probe.Observe(st.owner, rec.Kind, path, rec.Offset, moved, st.arrival, done)
+	st.now = done
+	return nil
+}
+
+// --- one-shot replay ---------------------------------------------------
+
+// ReplayResult summarizes a one-shot replay.
+type ReplayResult struct {
+	Ops    int64
+	Errors int64
+	Start  sim.Time
+	End    sim.Time
+	Hist   *metrics.Histogram
+	// ErrHist is the arrival-to-failure latency of errored ops.
+	ErrHist *metrics.Histogram
+	// PerOwner is the per-stream service split (owner = stream index).
+	PerOwner *metrics.PerOwner
+	// Load is the offered/completed gauge (zero-valued under AFAP).
+	Load metrics.LoadGauge
+	// MaxLag is the worst queueing delay behind the recorded schedule
+	// (timed/scaled modes) — how far the replayed system fell behind
+	// the traced one.
+	MaxLag sim.Time
+}
+
+// Throughput reports replayed ops/sec.
+func (r ReplayResult) Throughput() float64 {
+	d := (r.End - r.Start).Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / d
+}
+
+// replayHorizon is "no horizon": far enough out that any replay
+// exhausts its trace first.
+const replayHorizon = sim.Time(1) << 62
+
+// Replay runs the whole trace against m starting at virtual time
+// start, on the event kernel, with no horizon — every record is
+// offered and serviced. The namespace the capture assumed is
+// reconstructed first (Engine.Setup); replay begins when it is built.
+func Replay(t *Trace, m *vfs.Mount, start sim.Time, mode ReplayMode) (ReplayResult, error) {
+	eng, err := NewEngine(m, EngineConfig{Mode: mode, Tenants: []Source{MemorySource(t)}})
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	start, err = eng.Setup(start)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	res := ReplayResult{Start: start, Hist: &metrics.Histogram{}, PerOwner: &metrics.PerOwner{}}
+	eng.SetProbe(&workload.Probe{Hist: res.Hist, PerOwner: res.PerOwner})
+	end, err := eng.Run(start, replayHorizon)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	res.End = end
+	res.Ops = eng.Counter().Ops
+	res.Errors = eng.Counter().Errors
+	res.ErrHist = eng.ErrorHist()
+	res.Load = eng.Load()
+	res.MaxLag = eng.MaxLag()
+	return res, nil
+}

@@ -5,17 +5,19 @@
 // ... are widely available. When researchers go to the effort to make
 // traces, it would benefit the community to make them widely
 // available"). This package makes traces a first-class artifact: a
-// compact self-describing binary format, a human-readable text
-// format, and a replayer that runs a trace against any mounted stack
-// — either with original timing or as fast as the stack allows.
+// compact streaming binary format (FSBT v2) that carries requester
+// identity and scales to millions of records without materializing
+// them, a human-readable text format, and an event-kernel replay
+// engine with selectable timing disciplines (timed / afap / scaled)
+// and multi-tenant merge. The legacy FSBT v1 format stays readable;
+// Convert upgrades v1 files in place.
 package trace
 
 import (
 	"bufio"
-	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -30,9 +32,20 @@ type Record struct {
 	Path   string
 	Offset int64
 	Size   int64
+	// Owner is the requester identity the operation was captured
+	// under (the recording engine's thread OwnerID). Replay under
+	// multi-tenant merge re-bases it per tenant; v1 traces carry 0.
+	Owner int
+	// Stream is the logical submission stream the record belongs to
+	// (the recorded thread): replay serializes records of one stream
+	// and lets distinct streams contend, which is what preserves the
+	// captured concurrency structure. v1 traces carry 0 (one stream).
+	Stream int
 }
 
-// Trace is an in-memory trace.
+// Trace is an in-memory trace. The replay engine does not require
+// one — FileSource streams records straight off disk — but small
+// traces and tests are simpler to build this way.
 type Trace struct {
 	Records []Record
 }
@@ -47,9 +60,11 @@ type Recorder struct {
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder { return &Recorder{first: true} }
 
-// Hook returns the function to install as workload.Probe.Trace.
-func (r *Recorder) Hook() func(kind workload.OpKind, path string, offset, size int64, start, done sim.Time) {
-	return func(kind workload.OpKind, path string, offset, size int64, start, done sim.Time) {
+// Hook returns the function to install as workload.Probe.Trace. The
+// probe fires at op completion, so records arrive ordered by `done`
+// while At is the submission instant; Trace() re-sorts by At.
+func (r *Recorder) Hook() func(owner int, kind workload.OpKind, path string, offset, size int64, start, done sim.Time) {
+	return func(owner int, kind workload.OpKind, path string, offset, size int64, start, done sim.Time) {
 		if r.first {
 			r.start = start
 			r.first = false
@@ -60,170 +75,96 @@ func (r *Recorder) Hook() func(kind workload.OpKind, path string, offset, size i
 			Path:   path,
 			Offset: offset,
 			Size:   size,
+			Owner:  owner,
+			Stream: owner,
 		})
 	}
 }
 
-// Trace returns the collected trace.
-func (r *Recorder) Trace() *Trace { return &r.t }
+// Trace returns the collected trace, stably sorted by submission
+// time — the order the binary format requires and replay dispatches
+// in. (Completion-order capture interleaves submission times across
+// threads; the stable sort keeps same-instant records in capture
+// order, so the result is deterministic.)
+func (r *Recorder) Trace() *Trace {
+	sortRecords(r.t.Records)
+	// The hook anchors At to the first *completed* op's submission
+	// time, but an earlier-submitted op can complete later and land at
+	// a negative At; rebase so the earliest submission is exactly 0.
+	if recs := r.t.Records; len(recs) > 0 && recs[0].At != 0 {
+		base := recs[0].At
+		for i := range recs {
+			recs[i].At -= base
+		}
+	}
+	return &r.t
+}
 
-// --- binary codec -----------------------------------------------------
+// sortRecords stably orders records by At.
+func sortRecords(recs []Record) {
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].At < recs[j].At })
+}
 
-// magic identifies the binary trace format ("FSBT" + version 1).
-var magic = [5]byte{'F', 'S', 'B', 'T', 1}
+// --- binary codec ------------------------------------------------------
 
-// WriteBinary encodes the trace: magic, record count, then per record
-// varint-encoded fields with a string table for paths.
+// WriteBinary encodes the trace in FSBT v2 (see stream.go). Records
+// are written in submission-time order: the trace is stably sorted by
+// At first, which is a no-op for Recorder output.
 func (t *Trace) WriteBinary(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic[:]); err != nil {
-		return err
+	recs := t.Records
+	if !sort.SliceIsSorted(recs, func(i, j int) bool { return recs[i].At < recs[j].At }) {
+		recs = append([]Record(nil), recs...)
+		sortRecords(recs)
 	}
-	// Build the path table.
-	pathIdx := map[string]uint64{}
-	var paths []string
-	for _, rec := range t.Records {
-		if _, ok := pathIdx[rec.Path]; !ok {
-			pathIdx[rec.Path] = uint64(len(paths))
-			paths = append(paths, rec.Path)
-		}
-	}
-	var buf [binary.MaxVarintLen64]byte
-	putUvarint := func(v uint64) error {
-		n := binary.PutUvarint(buf[:], v)
-		_, err := bw.Write(buf[:n])
-		return err
-	}
-	putVarint := func(v int64) error {
-		n := binary.PutVarint(buf[:], v)
-		_, err := bw.Write(buf[:n])
-		return err
-	}
-	if err := putUvarint(uint64(len(paths))); err != nil {
-		return err
-	}
-	for _, p := range paths {
-		if err := putUvarint(uint64(len(p))); err != nil {
-			return err
-		}
-		if _, err := bw.WriteString(p); err != nil {
+	tw := NewWriter(w)
+	for _, rec := range recs {
+		if err := tw.Write(rec); err != nil {
 			return err
 		}
 	}
-	if err := putUvarint(uint64(len(t.Records))); err != nil {
-		return err
-	}
-	var prevAt sim.Time
-	for _, rec := range t.Records {
-		// Delta-encode times: traces are long and deltas are small.
-		if err := putVarint(int64(rec.At - prevAt)); err != nil {
-			return err
-		}
-		prevAt = rec.At
-		if err := putUvarint(uint64(rec.Kind)); err != nil {
-			return err
-		}
-		if err := putUvarint(pathIdx[rec.Path]); err != nil {
-			return err
-		}
-		if err := putVarint(rec.Offset); err != nil {
-			return err
-		}
-		if err := putVarint(rec.Size); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return tw.Close()
 }
 
-// ReadBinary decodes a binary trace.
+// ReadBinary decodes a binary trace (either FSBT version) into
+// memory. The replay path does not use it — Engine streams through a
+// Reader — but in-memory traces remain convenient for tests and
+// conversion.
 func ReadBinary(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	var m [5]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if m != magic {
-		return nil, errors.New("trace: bad magic (not an FSBT v1 trace)")
-	}
-	nPaths, err := binary.ReadUvarint(br)
+	tr, err := OpenReader(r)
 	if err != nil {
 		return nil, err
 	}
-	if nPaths > 1<<24 {
-		return nil, fmt.Errorf("trace: implausible path count %d", nPaths)
+	t := &Trace{}
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Records = append(t.Records, rec)
 	}
-	paths := make([]string, nPaths)
-	for i := range paths {
-		n, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, err
-		}
-		if n > 4096 {
-			return nil, fmt.Errorf("trace: implausible path length %d", n)
-		}
-		b := make([]byte, n)
-		if _, err := io.ReadFull(br, b); err != nil {
-			return nil, err
-		}
-		paths[i] = string(b)
-	}
-	nRecs, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	if nRecs > 1<<30 {
-		return nil, fmt.Errorf("trace: implausible record count %d", nRecs)
-	}
-	t := &Trace{Records: make([]Record, 0, nRecs)}
-	var at sim.Time
-	for i := uint64(0); i < nRecs; i++ {
-		d, err := binary.ReadVarint(br)
-		if err != nil {
-			return nil, err
-		}
-		at += sim.Time(d)
-		kind, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, err
-		}
-		pi, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, err
-		}
-		if pi >= nPaths {
-			return nil, fmt.Errorf("trace: record %d references path %d of %d", i, pi, nPaths)
-		}
-		off, err := binary.ReadVarint(br)
-		if err != nil {
-			return nil, err
-		}
-		size, err := binary.ReadVarint(br)
-		if err != nil {
-			return nil, err
-		}
-		t.Records = append(t.Records, Record{
-			At: at, Kind: workload.OpKind(kind), Path: paths[pi], Offset: off, Size: size,
-		})
-	}
-	return t, nil
 }
 
 // --- text codec --------------------------------------------------------
 
-// WriteText encodes one record per line: "at_ns kind path offset size".
+// WriteText encodes one record per line:
+// "at_ns kind path offset size owner stream".
 func (t *Trace) WriteText(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, rec := range t.Records {
-		if _, err := fmt.Fprintf(bw, "%d %s %s %d %d\n",
-			int64(rec.At), rec.Kind, rec.Path, rec.Offset, rec.Size); err != nil {
+		if _, err := fmt.Fprintf(bw, "%d %s %s %d %d %d %d\n",
+			int64(rec.At), rec.Kind, rec.Path, rec.Offset, rec.Size,
+			rec.Owner, rec.Stream); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// ReadText parses the text format.
+// ReadText parses the text format. Five-field lines (the pre-identity
+// format) are accepted with owner and stream zero.
 func ReadText(r io.Reader) (*Trace, error) {
 	t := &Trace{}
 	sc := bufio.NewScanner(r)
@@ -235,8 +176,8 @@ func ReadText(r io.Reader) (*Trace, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		if len(fields) != 5 {
-			return nil, fmt.Errorf("trace line %d: want 5 fields, got %d", lineno, len(fields))
+		if len(fields) != 5 && len(fields) != 7 {
+			return nil, fmt.Errorf("trace line %d: want 5 or 7 fields, got %d", lineno, len(fields))
 		}
 		at, err := strconv.ParseInt(fields[0], 10, 64)
 		if err != nil {
@@ -254,9 +195,21 @@ func ReadText(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace line %d: %v", lineno, err)
 		}
-		t.Records = append(t.Records, Record{
+		rec := Record{
 			At: sim.Time(at), Kind: kind, Path: fields[2], Offset: off, Size: size,
-		})
+		}
+		if len(fields) == 7 {
+			owner, err := strconv.Atoi(fields[5])
+			if err != nil {
+				return nil, fmt.Errorf("trace line %d: %v", lineno, err)
+			}
+			stream, err := strconv.Atoi(fields[6])
+			if err != nil {
+				return nil, fmt.Errorf("trace line %d: %v", lineno, err)
+			}
+			rec.Owner, rec.Stream = owner, stream
+		}
+		t.Records = append(t.Records, rec)
 	}
 	return t, sc.Err()
 }

@@ -22,6 +22,8 @@ type Filter struct {
 	Arrival     string
 	Fingerprint string
 	GitRev      string
+	TraceDigest string
+	ReplayMode  string
 }
 
 // match reports whether the record passes every set field.
@@ -34,7 +36,9 @@ func (f Filter) match(r Record) bool {
 		ok(f.Scheduler, r.Scheduler) &&
 		ok(f.Arrival, r.Arrival) &&
 		ok(f.Fingerprint, r.Fingerprint) &&
-		ok(f.GitRev, r.GitRev)
+		ok(f.GitRev, r.GitRev) &&
+		ok(f.TraceDigest, r.TraceDigest) &&
+		ok(f.ReplayMode, r.ReplayMode)
 }
 
 // Filter returns the records matching every set field.

@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -76,6 +77,16 @@ type Record struct {
 	Arrival     string `json:"arrival"`
 	QueueDepth  int    `json:"queue_depth"`
 	Threads     int    `json:"threads"`
+	// TraceDigest identifies the replayed trace's content for traced
+	// runs ("" for synthetic workloads); it is part of the
+	// Fingerprint, denormalized here so selectors can query by trace.
+	TraceDigest string `json:"trace_digest,omitempty"`
+	// ReplayMode is the replay timing discipline for traced runs
+	// (timed / afap / scaled; "" for synthetic workloads).
+	ReplayMode string `json:"replay_mode,omitempty"`
+	// ReplayScale is the scaled mode's compression factor (0 when not
+	// scaled).
+	ReplayScale float64 `json:"replay_scale,omitempty"`
 
 	// Protocol.
 	Runs       int   `json:"runs"`
@@ -140,6 +151,17 @@ func Fingerprint(e *core.Experiment) string {
 	if e.Workload != nil {
 		fmt.Fprintf(h, "workload|%s\n", workload.FormatWDL(e.Workload))
 	}
+	if e.Trace != nil {
+		// A traced run measures (trace content, discipline, scale,
+		// tenant count): all four change what is measured, so all four
+		// enter the hash. The digest is order-insensitive trace
+		// content — a v1 capture and its v2 conversion fingerprint
+		// identically. Workload-only experiments are unaffected: this
+		// line is absent for them, so every committed baseline
+		// fingerprint stands.
+		fmt.Fprintf(h, "trace|digest=%s mode=%s scale=%g tenants=%d\n",
+			e.Trace.Digest(), e.Trace.Mode, e.Trace.Scale, len(e.Trace.Tenants))
+	}
 	fmt.Fprintf(h, "proto|dur=%d win=%d cold=%v kinds=%v\n",
 		int64(e.Duration), int64(e.MeasureWindow), e.ColdCache, e.Kinds)
 	return hex.EncodeToString(h.Sum(nil))[:24]
@@ -189,6 +211,16 @@ func FromResult(res *core.Result, gitRev string, now time.Time) Record {
 		rec.Personality = e.Workload.Name
 		rec.Arrival = arrivalName(e.Workload)
 		rec.Threads = e.Workload.TotalThreads()
+	}
+	if e.Trace != nil {
+		rec.Personality = orDefault(e.Trace.Name, "trace")
+		rec.Arrival = "replay-" + e.Trace.Mode.String()
+		rec.Threads = e.Trace.Workers()
+		rec.TraceDigest = e.Trace.Digest()
+		rec.ReplayMode = e.Trace.Mode.String()
+		if e.Trace.Mode == trace.Scaled {
+			rec.ReplayScale = e.Trace.Scale
+		}
 	}
 	for _, m := range res.PerRun {
 		rec.PerRun = append(rec.PerRun, RunRecord{

@@ -30,9 +30,18 @@ type Probe struct {
 	HistSince sim.Time
 	// Kinds limits recording to the given op kinds (nil = all).
 	Kinds map[OpKind]bool
-	// Trace, when non-nil, receives every operation with its target
-	// and byte range — the hook the trace recorder attaches to.
-	Trace func(kind OpKind, path string, offset, size int64, start, done sim.Time)
+	// Trace, when non-nil, receives every operation with its issuing
+	// owner, target, and byte range — the hook the trace recorder
+	// attaches to. The owner rides along so captured traces carry the
+	// requester identity replay needs for per-stream contention.
+	Trace func(owner int, kind OpKind, path string, offset, size int64, start, done sim.Time)
+}
+
+// Observe records one completed operation — the entry point external
+// engines (trace replay) share with the workload engine's execOp. A
+// nil probe is a no-op.
+func (p *Probe) Observe(owner int, kind OpKind, path string, offset, size int64, start, done sim.Time) {
+	p.record(owner, kind, path, offset, size, start, done)
 }
 
 func (p *Probe) record(owner int, kind OpKind, path string, offset, size int64, start, done sim.Time) {
@@ -40,7 +49,7 @@ func (p *Probe) record(owner int, kind OpKind, path string, offset, size int64, 
 		return
 	}
 	if p.Trace != nil {
-		p.Trace(kind, path, offset, size, start, done)
+		p.Trace(owner, kind, path, offset, size, start, done)
 	}
 	if p.Kinds != nil && !p.Kinds[kind] {
 		return

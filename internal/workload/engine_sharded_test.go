@@ -144,7 +144,7 @@ func TestShardedEngineRejectsTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	se.SetProbe(&Probe{Trace: func(OpKind, string, int64, int64, sim.Time, sim.Time) {}})
+	se.SetProbe(&Probe{Trace: func(int, OpKind, string, int64, int64, sim.Time, sim.Time) {}})
 	if _, err := se.Run(start, start+sim.Second); err == nil {
 		t.Error("tracing sharded run did not error")
 	}

@@ -176,7 +176,7 @@ func TestOpenLoopSeqCursorIsClassOwned(t *testing.T) {
 		t.Fatal(err)
 	}
 	var offsets []int64
-	e.SetProbe(&Probe{Trace: func(_ OpKind, _ string, offset, _ int64, _, _ sim.Time) {
+	e.SetProbe(&Probe{Trace: func(_ int, _ OpKind, _ string, offset, _ int64, _, _ sim.Time) {
 		offsets = append(offsets, offset)
 	}})
 	start, err := e.Setup(0)
