@@ -258,7 +258,7 @@ func BenchmarkAblationElevator(b *testing.B) {
 	mkReqs := func(rng *sim.RNG) []device.Request {
 		reqs := make([]device.Request, 128)
 		for i := range reqs {
-			reqs[i] = device.Request{Op: device.Write, LBA: rng.Int63n(1 << 28), Sectors: 8}
+			reqs[i] = device.Request{Op: device.Write, LBA: rng.Int63n(1 << 28), Sectors: 8, Owner: device.OwnerNone}
 		}
 		return reqs
 	}

@@ -1,0 +1,305 @@
+// Package analysis is a stdlib-only static-analysis framework for
+// this repository: a package loader that walks the module, an
+// Analyzer interface, file:line diagnostics, and an
+// "//fslint:ignore <rule> <reason>" suppression comment. The domain
+// analyzers registered in registry.go machine-check the determinism
+// and accounting invariants DESIGN.md states in prose — each one
+// encodes a bug class a past PR fixed by hand (DESIGN.md §11).
+//
+// The framework deliberately avoids golang.org/x/tools: CI has no
+// network, so everything builds from go/ast, go/parser, go/types and
+// go/importer's source importer alone.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Unit is one type-checked compilation unit of a directory: the
+// library package including its in-package _test.go files, or the
+// external (package foo_test) test package when one exists.
+type Unit struct {
+	// ScopePath is the import path of the unit's directory — the
+	// path analyzers scope on. The external test unit of
+	// repro/internal/fs scopes as repro/internal/fs too.
+	ScopePath string
+	// XTest marks the external test unit.
+	XTest bool
+	Pkg   *types.Package
+	Info  *types.Info
+	Files []*ast.File
+}
+
+// Package is one module directory with all its compilation units.
+type Package struct {
+	Dir   string
+	Path  string
+	Units []*Unit
+}
+
+// Loader parses and type-checks packages of a single module. Import
+// resolution is split: module-internal paths type-check from source
+// in dependency order (cached, without test files), everything else
+// goes to go/importer's source importer so the tool works in an
+// offline container with no compiled export data.
+type Loader struct {
+	Fset *token.FileSet
+
+	moduleRoot string
+	modulePath string
+	std        types.Importer
+	cache      map[string]*types.Package // module-internal, lib files only
+	loading    map[string]bool           // cycle guard
+}
+
+// NewLoader locates the module containing dir (walking up to go.mod)
+// and returns a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		moduleRoot: root,
+		modulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		cache:      map[string]*types.Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// ModuleRoot reports the directory holding go.mod.
+func (l *Loader) ModuleRoot() string { return l.moduleRoot }
+
+// ImportPath maps a directory inside the module to its import path.
+func (l *Loader) ImportPath(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.moduleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module %s", dir, l.moduleRoot)
+	}
+	if rel == "." {
+		return l.modulePath, nil
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor inverts ImportPath for module-internal import paths.
+func (l *Loader) dirFor(path string) (string, bool) {
+	if path == l.modulePath {
+		return l.moduleRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+		return filepath.Join(l.moduleRoot, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// Import implements types.Importer over the split resolution scheme.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if dir, ok := l.dirFor(path); ok {
+		return l.importModulePkg(path, dir)
+	}
+	return l.std.Import(path)
+}
+
+// importModulePkg type-checks the library files of one module
+// directory (no test files: in-package test files may import
+// packages that would form cycles through the unit under test, and
+// importers never see test symbols anyway).
+func (l *Loader) importModulePkg(path, dir string) (*types.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	lib, _, _, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(lib) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	pkg, err := l.check(path, lib, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses a directory's .go files into library files,
+// in-package test files, and external (xtest) test files.
+func (l *Loader) parseDir(dir string) (lib, intest, xtest []*ast.File, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var libName string
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, perr := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, nil, nil, perr
+		}
+		switch {
+		case !strings.HasSuffix(name, "_test.go"):
+			libName = f.Name.Name
+			lib = append(lib, f)
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			xtest = append(xtest, f)
+		default:
+			intest = append(intest, f)
+		}
+	}
+	// A test-only directory: treat the in-package files' name as lib.
+	if libName == "" && len(intest) > 0 {
+		lib, intest = intest, nil
+	}
+	return lib, intest, xtest, nil
+}
+
+// check type-checks one unit, returning the package and filling info.
+func (l *Loader) check(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	var errs []error
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("analysis: type errors in %s: %v", path, errs[0])
+	}
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}
+
+// LoadDir type-checks one directory into analyzer-ready units: the
+// library unit includes in-package test files (the analyzers' rules
+// reach test code), plus a separate xtest unit when present.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	path, err := l.ImportPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	lib, intest, xtest, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(lib)+len(intest)+len(xtest) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	p := &Package{Dir: dir, Path: path}
+	if len(lib) > 0 {
+		files := append(append([]*ast.File{}, lib...), intest...)
+		info := newInfo()
+		pkg, err := l.check(path, files, info)
+		if err != nil {
+			return nil, err
+		}
+		p.Units = append(p.Units, &Unit{ScopePath: path, Pkg: pkg, Info: info, Files: files})
+	}
+	if len(xtest) > 0 {
+		info := newInfo()
+		pkg, err := l.check(path+"_test", xtest, info)
+		if err != nil {
+			return nil, err
+		}
+		p.Units = append(p.Units, &Unit{ScopePath: path, XTest: true, Pkg: pkg, Info: info, Files: xtest})
+	}
+	return p, nil
+}
+
+// Walk returns every package directory under root (itself inside the
+// module), skipping testdata, hidden, and underscore directories —
+// the same exclusions the go tool applies.
+func Walk(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasPrefix(d.Name(), ".") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for dir := range seen {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

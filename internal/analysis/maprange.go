@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange flags `for … range m` over a map inside simulation
+// packages. Go randomizes map iteration order per run of the
+// process, so any simulation state, I/O order, or reported list that
+// flows out of such a loop is nondeterministic — the PR 1 bug class
+// (the cache's dirty set iterated a map, making write-back batches
+// and therefore all virtual timings differ run to run).
+//
+// A loop is exempt when it is the collect half of the
+// collect-then-sort idiom: its body is exactly one
+// `s = append(s, …)` statement — optionally wrapped in a single
+// else-less `if` (a filtered collect) — and the same slice is later
+// passed to a sort.* or slices.Sort* call in the enclosing function.
+// Anything else — commutative folds, single-match lookups — must
+// carry an //fslint:ignore maprange comment stating why order cannot
+// matter.
+var MapRange = &Analyzer{
+	Name:      "maprange",
+	Doc:       "range over a map in a simulation package is a determinism hazard unless keys are collected and sorted",
+	Scope:     simScope,
+	SkipTests: true,
+	Run:       runMapRange,
+}
+
+func runMapRange(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(p, fd.Body)
+		}
+	}
+}
+
+// checkMapRanges flags map ranges in one function body. Function
+// literals are checked against their own body: a sort after the
+// literal's closing brace is a different execution context and does
+// not order the loop inside it.
+func checkMapRanges(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			checkMapRanges(p, lit.Body)
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if collectsThenSorts(p, rs, body) {
+			return true
+		}
+		p.Reportf(rs.Pos(), "range over map %s: iteration order is randomized; collect and sort the keys, or annotate why order cannot matter", types.TypeString(t, types.RelativeTo(p.Pkg)))
+		return true
+	})
+}
+
+// collectsThenSorts recognizes the benign idiom: the loop body is a
+// single append into a slice — possibly guarded by one else-less if
+// (a filtered collect) — and that slice is sorted later in the same
+// enclosing body.
+func collectsThenSorts(p *Pass, rs *ast.RangeStmt, scope *ast.BlockStmt) bool {
+	stmts := rs.Body.List
+	if len(stmts) == 1 {
+		if ifs, ok := stmts[0].(*ast.IfStmt); ok && ifs.Else == nil && ifs.Init == nil {
+			stmts = ifs.Body.List
+		}
+	}
+	if len(stmts) != 1 {
+		return false
+	}
+	as, ok := stmts[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	target := exprPath(p, as.Lhs[0])
+	if target == nil {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if b, ok := p.Info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	if !samePath(target, exprPath(p, call.Args[0])) {
+		return false
+	}
+	// Look for sort.X(target, …) / slices.SortX(target, …) after the
+	// loop in the same body.
+	sorted := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		switch fn.Name() {
+		case "Sort", "Stable", "Strings", "Ints", "Float64s",
+			"Slice", "SliceStable", "SortFunc", "SortStableFunc":
+		default:
+			return true
+		}
+		if samePath(target, exprPath(p, call.Args[0])) {
+			sorted = true
+			return false
+		}
+		return true
+	})
+	return sorted
+}
+
+// exprPath flattens a simple reference chain (x, x.y, x.y.z) into
+// [root object, field names…] so two mentions of the same variable
+// or field compare structurally. Anything more complex returns nil.
+func exprPath(p *Pass, e ast.Expr) []any {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := p.Info.Uses[e]
+		if obj == nil {
+			obj = p.Info.Defs[e]
+		}
+		if obj == nil {
+			return nil
+		}
+		return []any{obj}
+	case *ast.SelectorExpr:
+		base := exprPath(p, e.X)
+		if base == nil {
+			return nil
+		}
+		return append(base, e.Sel.Name)
+	}
+	return nil
+}
+
+func samePath(a, b []any) bool {
+	if a == nil || b == nil || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// Percentile flags a constant argument in the open interval (0, 1)
+// passed to metrics.Histogram.Percentile or stats.Percentile. Both
+// APIs take 0–100, so the fraction spelling of "p99" — 0.99 —
+// silently returns roughly p1. PR 4 found live call sites of exactly
+// this shape and could only guard dynamically (StrictPercentiles
+// panics when armed by a TestMain); this rule rejects the constant
+// form at lint time, in every package and in test code too — a test
+// asserting against the wrong percentile proves nothing.
+var Percentile = &Analyzer{
+	Name: "percentile",
+	Doc:  "Percentile takes 0–100; a constant in (0,1) is the fraction-vs-percent footgun",
+	Run:  runPercentile,
+}
+
+// percentileCallees maps qualified function names to the index of
+// their percentile argument.
+var percentileCallees = map[string]int{
+	"(*repro/internal/metrics.Histogram).Percentile": 0,
+	"(repro/internal/metrics.Histogram).Percentile":  0,
+	"repro/internal/stats.Percentile":                1,
+}
+
+func runPercentile(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var fn *types.Func
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				fn, _ = p.Info.Uses[fun.Sel].(*types.Func)
+			case *ast.Ident:
+				fn, _ = p.Info.Uses[fun].(*types.Func)
+			}
+			if fn == nil {
+				return true
+			}
+			argIdx, ok := percentileCallees[fn.FullName()]
+			if !ok || argIdx >= len(call.Args) {
+				return true
+			}
+			arg := call.Args[argIdx]
+			tv, ok := p.Info.Types[arg]
+			if !ok || tv.Value == nil {
+				return true
+			}
+			v, ok := constant.Float64Val(constant.ToFloat(tv.Value))
+			if !ok {
+				return true
+			}
+			if v > 0 && v < 1 {
+				p.Reportf(arg.Pos(), "constant %v passed to %s: the API takes 0–100, so this asks for roughly p%g, not the p%g fraction spelling suggests", tv.Value, fn.Name(), v, v*100)
+			}
+			return true
+		})
+	}
+}

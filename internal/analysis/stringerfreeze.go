@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FreezeDirective marks a struct whose String() method is a frozen
+// serialization surface: every field must be referenced from
+// String() or carry an explicit //fslint:ignore stringerfreeze
+// exemption on the field.
+const FreezeDirective = "//fslint:freeze"
+
+// StringerFreeze machine-checks frozen Stringer surfaces. The
+// warehouse fingerprint hashes configs with %+v, and %+v resolves a
+// String() method when one exists — so for a Stringer type the
+// fingerprint surface is the String output, NOT the struct layout
+// (the PR 7 trap: a mirror-struct refactor moved every committed
+// fingerprint before anyone spotted the Stringer). The dual failure
+// is quieter and worse: a field added to the struct but not to
+// String() never enters the hash, so two configs that measure
+// different systems share a fingerprint and the regression gate
+// pools them. This rule makes that drift a lint error: annotate the
+// struct with //fslint:freeze and every field must either appear in
+// String() or carry a written exemption.
+var StringerFreeze = &Analyzer{
+	Name:      "stringerfreeze",
+	Doc:       "every field of an //fslint:freeze struct must be referenced from its String() method",
+	SkipTests: true,
+	Run:       runStringerFreeze,
+}
+
+func runStringerFreeze(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				if !hasFreezeDirective(gd.Doc) && !hasFreezeDirective(ts.Doc) {
+					continue
+				}
+				checkFrozenStruct(p, ts, st)
+			}
+		}
+	}
+}
+
+func hasFreezeDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, FreezeDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFrozenStruct(p *Pass, ts *ast.TypeSpec, st *ast.StructType) {
+	obj, ok := p.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return
+	}
+	strDecl := findStringMethod(p, named)
+	if strDecl == nil {
+		p.Reportf(ts.Pos(), "%s is marked //fslint:freeze but has no String() method to freeze", ts.Name.Name)
+		return
+	}
+	referenced := fieldsReferenced(p, strDecl, named)
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if name.Name == "_" || referenced[name.Name] {
+				continue
+			}
+			p.Reportf(name.Pos(), "field %s of frozen type %s is not referenced from String(): it will never enter the %%+v fingerprint surface, so configs differing only in %s collide", name.Name, ts.Name.Name, name.Name)
+		}
+	}
+}
+
+// findStringMethod locates the declaration of the String() string
+// method on named (value or pointer receiver) in this unit.
+func findStringMethod(p *Pass, named *types.Named) *ast.FuncDecl {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "String" || fd.Body == nil {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			if sig.Recv() == nil {
+				continue
+			}
+			rt := sig.Recv().Type()
+			if ptr, ok := rt.(*types.Pointer); ok {
+				rt = ptr.Elem()
+			}
+			if rt == named.Obj().Type() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// fieldsReferenced collects the names of named's fields selected
+// anywhere inside the String method body.
+func fieldsReferenced(p *Pass, fd *ast.FuncDecl, named *types.Named) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := p.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		recv := s.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if recv == named.Obj().Type() {
+			out[sel.Sel.Name] = true
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,14 @@
+// Package fixture holds a reason-less ignore: the directive must be
+// reported as malformed AND fail to suppress the finding it covers.
+// (Checked by TestMalformedIgnore, not // want comments — the
+// malformed diagnostic lands on the comment's own line.)
+package fixture
+
+func missingReason(m map[string]int) int {
+	total := 0
+	//fslint:ignore maprange
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

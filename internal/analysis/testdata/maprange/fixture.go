@@ -1,0 +1,125 @@
+// Package fixture seeds maprange violations and the idioms the rule
+// must not flag. The // want comments are the expected diagnostics.
+package fixture
+
+import (
+	"slices"
+	"sort"
+)
+
+func plainRange(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+// collectThenSortStrings is the benign idiom: keys out, sorted, then
+// the map is read in a deterministic order.
+func collectThenSortStrings(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectThenSlicesSort uses the slices package spelling.
+func collectThenSlicesSort(m map[int64]bool) []int64 {
+	ids := make([]int64, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	return ids
+}
+
+// collectEntriesThenSortSlice collects key+value structs and sorts
+// with a comparator — the namespace List shape.
+func collectEntriesThenSortSlice(m map[string]int) []entry {
+	out := make([]entry, 0, len(m))
+	for k, v := range m {
+		out = append(out, entry{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+type entry struct {
+	name string
+	n    int
+}
+
+// collectWithoutSort gathers keys but never sorts: the order leaking
+// out is still map-iteration order.
+func collectWithoutSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "range over map"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortOutsideFuncLit sorts in the enclosing function, but the range
+// runs inside a function literal — a different execution context, so
+// the loop is still unordered where it runs.
+func sortOutsideFuncLit(m map[string]int) []string {
+	var keys []string
+	collect := func() {
+		for k := range m { // want "range over map"
+			keys = append(keys, k)
+		}
+	}
+	collect()
+	sort.Strings(keys)
+	return keys
+}
+
+// suppressedFold is order-independent by construction and says so.
+func suppressedFold(m map[string]int) int {
+	total := 0
+	//fslint:ignore maprange commutative integer sum; order cannot change the result
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sliceAndChannelRanges must not be flagged: only maps iterate in
+// randomized order.
+func sliceAndChannelRanges(xs []int, ch chan int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// filteredCollectThenSort: the append may sit under one else-less if —
+// the filtered half of collect-then-sort.
+func filteredCollectThenSort(m map[int64]bool, keep func(int64) bool) []int64 {
+	var ks []int64
+	for k := range m {
+		if keep(k) {
+			ks = append(ks, k)
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// filteredCollectWithoutSort still leaks map order.
+func filteredCollectWithoutSort(m map[int64]bool, keep func(int64) bool) []int64 {
+	var ks []int64
+	for k := range m { // want "range over map"
+		if keep(k) {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}

@@ -1,0 +1,36 @@
+// Package fixture seeds the fraction-vs-percent footgun against the
+// real Percentile APIs.
+package fixture
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+const p99Fraction = 0.99
+
+func fractions(h *metrics.Histogram, xs []float64) {
+	h.Percentile(0.99)          // want "constant 0.99 passed to Percentile"
+	h.Percentile(p99Fraction)   // want "constant 0.99 passed to Percentile"
+	stats.Percentile(xs, 0.5)   // want "constant 0.5 passed to Percentile"
+	stats.Percentile(xs, 1.0/4) // want "constant 0.25 passed to Percentile"
+}
+
+func wholePercents(h *metrics.Histogram, xs []float64) {
+	h.Percentile(99)
+	h.Percentile(99.9)
+	h.Percentile(0) // boundary: p0 is the minimum, not a fraction
+	h.Percentile(1) // boundary: p1 is a legitimate percentile
+	stats.Percentile(xs, 50)
+}
+
+// variables pass: only constants are provably the footgun — runtime
+// values are the StrictPercentiles guard's job.
+func variables(h *metrics.Histogram, p float64) {
+	h.Percentile(p)
+}
+
+func suppressed(h *metrics.Histogram) {
+	//fslint:ignore percentile deliberate footgun probe asserting the strict-mode panic
+	h.Percentile(0.99)
+}

@@ -1,0 +1,76 @@
+// Package fixture seeds frozen-Stringer drift: annotated structs
+// whose String() must cover every field.
+package fixture
+
+import "fmt"
+
+// Covered references every field.
+//
+//fslint:freeze
+type Covered struct {
+	Device string
+	Depth  int
+}
+
+func (c Covered) String() string {
+	return fmt.Sprintf("%s qd=%d", c.Device, c.Depth)
+}
+
+// Drifted grew a field String() never learned about.
+//
+//fslint:freeze
+type Drifted struct {
+	Device string
+	Noise  float64 // want "field Noise of frozen type Drifted is not referenced"
+}
+
+func (d Drifted) String() string {
+	return d.Device
+}
+
+// PointerRecv is covered through a pointer receiver and helpers.
+//
+//fslint:freeze
+type PointerRecv struct {
+	A, B int
+}
+
+func (p *PointerRecv) String() string {
+	return fmt.Sprint(pick(p.A, p.B))
+}
+
+func pick(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NoString is frozen but has nothing to freeze.
+//
+//fslint:freeze
+type NoString struct { // want "has no String"
+	A int
+}
+
+// Exempted documents why a field stays out of the surface.
+//
+//fslint:freeze
+type Exempted struct {
+	Device string
+	//fslint:ignore stringerfreeze hashed separately by the fingerprint, never through String
+	Override *int
+}
+
+func (e Exempted) String() string {
+	return e.Device
+}
+
+// Unannotated structs may drift freely — the rule is opt-in.
+type Unannotated struct {
+	X, Y int
+}
+
+func (u Unannotated) String() string {
+	return fmt.Sprint(u.X)
+}

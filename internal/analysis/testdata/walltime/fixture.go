@@ -1,0 +1,51 @@
+// Package fixture seeds walltime violations: host-clock reads and
+// global-randomness draws that must never reach simulation packages.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func hostClock() time.Duration {
+	start := time.Now()          // want "time.Now reads the host clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the host clock"
+	return time.Since(start)     // want "time.Since reads the host clock"
+}
+
+func timers() {
+	t := time.NewTimer(time.Second) // want "time.NewTimer reads the host clock"
+	defer t.Stop()
+	tick := time.Tick(time.Second) // want "time.Tick reads the host clock"
+	_ = tick
+	<-time.After(time.Second) // want "time.After reads the host clock"
+	lit := &time.Timer{}      // want "time.Timer runs on the host clock"
+	_ = lit
+}
+
+func globalRand() int {
+	n := rand.Intn(10)    // want "global rand.Intn draws from the process-global source"
+	f := rand.Float64()   // want "global rand.Float64 draws from the process-global source"
+	rand.Shuffle(3, swap) // want "global rand.Shuffle draws from the process-global source"
+	return n + int(f*100)
+}
+
+func swap(i, j int) {}
+
+// seededRand is the legal spelling: an explicit seed makes the
+// stream reproducible, which is how test fixtures build RNGs.
+func seededRand() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+// durationsAreFine: time's types and constants are not clock reads.
+func durationsAreFine(d time.Duration) time.Duration {
+	return d + 3*time.Millisecond
+}
+
+func suppressedWatchdog() {
+	//fslint:ignore walltime real-time watchdog around the harness, not simulated state
+	deadline := time.Now()
+	_ = deadline
+}

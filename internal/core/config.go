@@ -16,6 +16,16 @@ import (
 // StackConfig describes a complete system under test. Build
 // instantiates it fresh for every run — the paper's experiments
 // remount between runs, and so do we.
+//
+// String() is the warehouse fingerprint's serialization surface
+// (Fingerprint hashes the config with %+v, which resolves this
+// type's value-receiver Stringer), so every measured field must
+// appear in String() — two configs that measure differently but
+// print alike would silently pool their results under one
+// fingerprint. The freeze annotation below makes fslint enforce
+// that.
+//
+//fslint:freeze
 type StackConfig struct {
 	// FS selects the file-system model: "ext2", "ext3", "xfs".
 	FS string
@@ -101,6 +111,7 @@ type StackConfig struct {
 	ShardMode string
 
 	// VFS tunes software costs; zero value means vfs.DefaultConfig.
+	//fslint:ignore stringerfreeze hashed by Fingerprint's own vfs| line; a pointer in String would print an address
 	VFS *vfs.Config
 }
 
@@ -329,6 +340,23 @@ func (c StackConfig) String() string {
 	s := fmt.Sprintf("%s/%s ram=%dMB reserve=%d±%dMB policy=%s sched=%s qd=%d",
 		fsName, dev, c.RAMBytes>>20, c.OSReserveBytes>>20, c.OSReserveJitter>>20,
 		orDefault(c.CachePolicy, "lru"), orDefault(c.Scheduler, device.DefaultScheduler), depth)
+	// Non-default knobs append conditionally so configs that never
+	// set them keep their historical fingerprints.
+	if c.Ext3Mode != ext3sim.Ordered {
+		s += fmt.Sprintf(" ext3=%s", c.Ext3Mode)
+	}
+	if c.DiskBytes > 0 {
+		s += fmt.Sprintf(" disk=%dMB", c.DiskBytes>>20)
+	}
+	if c.Readahead != "" {
+		s += fmt.Sprintf(" ra=%s", c.Readahead)
+	}
+	if c.L2Bytes > 0 {
+		s += fmt.Sprintf(" l2=%dMB", c.L2Bytes>>20)
+	}
+	if c.CPUNoiseFrac != 0 {
+		s += fmt.Sprintf(" cpunoise=%g", c.CPUNoiseFrac)
+	}
 	if c.Shards > 1 {
 		s += fmt.Sprintf(" shards=%d", c.Shards)
 		if c.ShardMode != ShardModeReplica {

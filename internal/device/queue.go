@@ -1,6 +1,7 @@
 package device
 
 import (
+	"maps"
 	"sort"
 
 	"repro/internal/sim"
@@ -121,7 +122,8 @@ func (s *QueueStats) Merge(other QueueStats) {
 		s.MaxQueued = other.MaxQueued
 	}
 	s.Wait += other.Wait
-	for owner, o := range other.PerOwner {
+	for _, owner := range other.Owners() {
+		o := other.PerOwner[owner]
 		s.ownerAdd(owner, o.Wait, o.Completed)
 	}
 }
@@ -183,13 +185,7 @@ func (q *Queue) InFlight() int { return q.inflight }
 // Stats returns a snapshot of the counters.
 func (q *Queue) Stats() QueueStats {
 	s := q.stats
-	if s.PerOwner != nil {
-		c := make(map[int]OwnerQueueStats, len(s.PerOwner))
-		for k, v := range s.PerOwner {
-			c[k] = v
-		}
-		s.PerOwner = c
-	}
+	s.PerOwner = maps.Clone(s.PerOwner)
 	return s
 }
 

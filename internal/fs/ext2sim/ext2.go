@@ -12,6 +12,7 @@ package ext2sim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/fs"
 	"repro/internal/sim"
@@ -386,12 +387,21 @@ func (f *FS) shrink(ino fs.Ino, fl *file, wantBlocks int64) []fs.IOStep {
 			k += addrsPerBlock - ((k - directBlocks) % addrsPerBlock)
 		}
 	}
-	for key, blk := range fl.meta {
+	// Free stale meta blocks in key order: iteration order decides
+	// both the allocator's free-list state (and so every later
+	// allocation) and the emitted WriteStep sequence.
+	stale := make([]int64, 0, len(fl.meta))
+	for key := range fl.meta {
 		if !needed[key] {
-			f.alloc.FreeRun(blk, 1)
-			delete(fl.meta, key)
-			steps = append(steps, fs.WriteStep(f.bitmapBlock(blk)))
+			stale = append(stale, key)
 		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+	for _, key := range stale {
+		blk := fl.meta[key]
+		f.alloc.FreeRun(blk, 1)
+		delete(fl.meta, key)
+		steps = append(steps, fs.WriteStep(f.bitmapBlock(blk)))
 	}
 	steps = append(steps, fs.WriteStep(f.itab.Block(ino)))
 	return steps
@@ -474,6 +484,7 @@ func (f *FS) InodeBlock(ino fs.Ino) int64 { return f.itab.Block(ino) }
 // used by layout benchmarks (1.0 = perfectly contiguous).
 func (f *FS) FragScore() float64 {
 	files, exts := 0, 0
+	//fslint:ignore maprange commutative counting: only sums of per-file extent counts escape
 	for _, fl := range f.files {
 		if fl.ext.Blocks() == 0 {
 			continue

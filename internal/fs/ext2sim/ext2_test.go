@@ -143,3 +143,66 @@ func TestDeterministicLayout(t *testing.T) {
 		}
 	}
 }
+
+// TestShrinkDeterministic pins the order in which shrink frees stale
+// indirect blocks. The stale set lives in a map; before the keys were
+// sorted, iteration order leaked into the emitted WriteStep sequence
+// whenever the stale blocks spanned more than one block group (their
+// bitmap writes then target different blocks). A 160 MB file
+// overflows its 128 MB group, scattering indirect blocks across two
+// groups.
+func TestShrinkDeterministic(t *testing.T) {
+	run := func() ([]fs.IOStep, []fs.Extent) {
+		f, err := New(262144)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ino, _, err := f.Create(f.Root(), "big", fs.Regular, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mb := int64(8); mb <= 160; mb += 8 {
+			if _, err := f.Resize(ino, mb<<20, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		steps, err := f.Resize(ino, fs.BlockSize, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reallocate into the freed space: the free list's state
+		// after shrink decides where this file lands.
+		next, _, err := f.Create(f.Root(), "next", fs.Regular, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Resize(next, 8<<20, 0); err != nil {
+			t.Fatal(err)
+		}
+		exts, _, err := f.Map(next, 0, 8<<20/fs.BlockSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return steps, exts
+	}
+	firstSteps, firstExts := run()
+	for trial := 1; trial < 8; trial++ {
+		steps, exts := run()
+		if len(steps) != len(firstSteps) {
+			t.Fatalf("trial %d: %d shrink steps, first run had %d", trial, len(steps), len(firstSteps))
+		}
+		for i := range steps {
+			if steps[i] != firstSteps[i] {
+				t.Fatalf("trial %d: shrink step %d = %+v, first run had %+v", trial, i, steps[i], firstSteps[i])
+			}
+		}
+		if len(exts) != len(firstExts) {
+			t.Fatalf("trial %d: %d extents after refill, first run had %d", trial, len(exts), len(firstExts))
+		}
+		for i := range exts {
+			if exts[i] != firstExts[i] {
+				t.Fatalf("trial %d: refill extent %d = %+v, first run had %+v", trial, i, exts[i], firstExts[i])
+			}
+		}
+	}
+}

@@ -107,6 +107,7 @@ func TestPercentileFractionFootgun(t *testing.T) {
 	// The footgun with the guard off: the fraction lands at or below
 	// p1, nowhere near p99.
 	StrictPercentiles = false
+	//fslint:ignore percentile deliberate footgun probe: asserts what the fraction spelling returns
 	got, p1, p99 := h.Percentile(0.99), h.Percentile(1), h.Percentile(99)
 	StrictPercentiles = true
 	if got > p1 || got >= p99 {
@@ -121,6 +122,7 @@ func TestPercentileFractionFootgun(t *testing.T) {
 			t.Error("StrictPercentiles did not panic on Percentile(0.99)")
 		}
 	}()
+	//fslint:ignore percentile deliberate footgun probe: asserts the strict-mode panic
 	h.Percentile(0.99)
 }
 

@@ -117,7 +117,7 @@ func ioSeqBandwidth(stack core.StackConfig, seed uint64) (Score, error) {
 	var at sim.Time
 	var lba, bytes int64
 	for at < 2*sim.Second {
-		done, err := dev.Submit(at, device.Request{Op: device.Read, LBA: lba, Sectors: reqSectors})
+		done, err := dev.Submit(at, device.Request{Op: device.Read, LBA: lba, Sectors: reqSectors, Owner: device.OwnerNone})
 		if err != nil {
 			return Score{}, err
 		}
@@ -141,7 +141,7 @@ func ioRandIOPS(stack core.StackConfig, seed uint64) (Score, error) {
 	var ops int64
 	for at < 2*sim.Second {
 		lba := rng.Int63n(dev.Sectors() - 8)
-		done, err := dev.Submit(at, device.Request{Op: device.Read, LBA: lba, Sectors: 8})
+		done, err := dev.Submit(at, device.Request{Op: device.Read, LBA: lba, Sectors: 8, Owner: device.OwnerNone})
 		if err != nil {
 			return Score{}, err
 		}

@@ -84,6 +84,7 @@ func TestPercentileFractionFootgun(t *testing.T) {
 	}
 	// The footgun with the guard off: near the minimum, nowhere near 99.
 	StrictPercentiles = false
+	//fslint:ignore percentile deliberate footgun probe: asserts what the fraction spelling returns
 	got, p2 := Percentile(xs, 0.99), Percentile(xs, 2)
 	StrictPercentiles = true
 	if got >= p2 {
@@ -97,6 +98,7 @@ func TestPercentileFractionFootgun(t *testing.T) {
 			t.Error("StrictPercentiles did not panic on Percentile(0.99)")
 		}
 	}()
+	//fslint:ignore percentile deliberate footgun probe: asserts the strict-mode panic
 	Percentile(xs, 0.99)
 }
 

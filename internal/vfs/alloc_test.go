@@ -21,7 +21,7 @@ func TestSubmitAsyncAllocPinned(t *testing.T) {
 	}
 	m.StopWriteback()
 	loop.Reserve(64)
-	req := device.Request{Op: device.Write, LBA: 4096, Sectors: 8}
+	req := device.Request{Op: device.Write, LBA: 4096, Sectors: 8, Owner: device.OwnerNone}
 	// Warm the pool, the scheduler window, and the per-owner stats map.
 	for i := 0; i < 4; i++ {
 		if err := m.submitAsync(loop.Now(), req, nil); err != nil {
@@ -72,7 +72,7 @@ func BenchmarkSubmitAsyncAlloc(b *testing.B) {
 	}
 	m.StopWriteback()
 	loop.Reserve(64)
-	req := device.Request{Op: device.Write, LBA: 4096, Sectors: 8}
+	req := device.Request{Op: device.Write, LBA: 4096, Sectors: 8, Owner: device.OwnerNone}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

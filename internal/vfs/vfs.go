@@ -750,7 +750,7 @@ func (m *Mount) maybeWriteback(at sim.Time) {
 			l1.Clean(id) // unmappable page: drop the dirty bit
 			continue
 		}
-		reqs = append(reqs, device.Request{Op: device.Write, LBA: lba, Sectors: sectorsPerBlock})
+		reqs = append(reqs, device.Request{Op: device.Write, LBA: lba, Sectors: sectorsPerBlock, Owner: device.OwnerDaemon})
 		flushed = append(flushed, id)
 	}
 	if len(reqs) == 0 {
@@ -788,6 +788,7 @@ func (m *Mount) flushSync(at sim.Time, ids []cache.PageID) (sim.Time, error) {
 		if !ok {
 			continue
 		}
+		//fslint:ignore ownerstamp submitBatchSync stamps the caller's identity one hop below
 		reqs = append(reqs, device.Request{Op: device.Write, LBA: lba, Sectors: sectorsPerBlock})
 		marked = append(marked, id)
 		gens = append(gens, gen)

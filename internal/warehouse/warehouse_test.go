@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fs/ext3sim"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -92,7 +93,13 @@ func TestFingerprintFrozenSerialization(t *testing.T) {
 	// WDL and proto lines) is frozen precisely so StackConfig can grow
 	// execution knobs without moving this value. Update the constant
 	// only with a deliberate, documented baseline migration.
-	const frozen = "d2d6caf4f19acc15b5cdc2e8"
+	//
+	// Migrated once when String() learned the disk/readahead/l2/noise
+	// knobs: configs setting them (testExperiment sets DiskBytes) had
+	// been colliding with configs that did not, so their fingerprints
+	// moved by design and ci/baseline.jsonl was regenerated with
+	// "go run ./cmd/fsgate -update".
+	const frozen = "72d7bcf9893f83add1f12def"
 	if got := Fingerprint(testExperiment(1)); got != frozen {
 		t.Errorf("fingerprint serialization drifted: got %s want %s", got, frozen)
 	}
@@ -118,6 +125,14 @@ func TestFingerprintSeesConfig(t *testing.T) {
 		"window":   func(e *core.Experiment) { e.MeasureWindow = 100 * sim.Millisecond },
 		"cold":     func(e *core.Experiment) { e.ColdCache = true },
 		"kinds":    func(e *core.Experiment) { e.Kinds = []workload.OpKind{workload.OpReadRand} },
+		// The conditional tail of StackConfig.String: every knob that
+		// changes what is measured must move the hash (the
+		// stringerfreeze lint pins the same property statically).
+		"ext3mode":  func(e *core.Experiment) { e.Stack.Ext3Mode = ext3sim.Journal },
+		"diskbytes": func(e *core.Experiment) { e.Stack.DiskBytes = 2 << 30 },
+		"readahead": func(e *core.Experiment) { e.Stack.Readahead = "none" },
+		"l2bytes":   func(e *core.Experiment) { e.Stack.L2Bytes = 256 << 20 },
+		"cpunoise":  func(e *core.Experiment) { e.Stack.CPUNoiseFrac = 0.02 },
 	}
 	for name, mutate := range mutations {
 		e := testExperiment(1)

@@ -68,6 +68,7 @@ func (k OpKind) String() string {
 
 // ParseOpKind parses the names printed by String.
 func ParseOpKind(s string) (OpKind, error) {
+	//fslint:ignore maprange name lookup: names are unique, so at most one entry matches
 	for k, n := range opNames {
 		if n == s {
 			return k, nil
@@ -113,6 +114,7 @@ func (k ArrivalKind) String() string {
 
 // ParseArrivalKind parses the names printed by String.
 func ParseArrivalKind(s string) (ArrivalKind, error) {
+	//fslint:ignore maprange name lookup: names are unique, so at most one entry matches
 	for k, n := range arrivalNames {
 		if n == s {
 			return k, nil
